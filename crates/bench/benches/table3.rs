@@ -1,0 +1,48 @@
+//! Criterion bench: the Table 3 configurations (Raytrace and BerkeleyDB
+//! under each signature scheme/size), exercising the false-positive
+//! accounting path end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logtm_se::{CoherenceKind, SignatureKind};
+use ltse_workloads::{run_benchmark, Benchmark, RunParams, SyncMode};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    let signatures = [
+        SignatureKind::Perfect,
+        SignatureKind::BitSelect { bits: 2048 },
+        SignatureKind::CoarseBitSelect {
+            bits: 2048,
+            blocks_per_macroblock: 16,
+        },
+        SignatureKind::DoubleBitSelect { bits: 2048 },
+        SignatureKind::BitSelect { bits: 64 },
+    ];
+    for benchmark in [Benchmark::Raytrace, Benchmark::BerkeleyDb] {
+        for kind in signatures {
+            group.bench_function(format!("{benchmark}/{}", kind.label()), |b| {
+                b.iter(|| {
+                    run_benchmark(&RunParams {
+                        benchmark,
+                        mode: SyncMode::Tm,
+                        signature: kind,
+                        threads: 8,
+                        units_per_thread: 4,
+                        seed: 2,
+                        small_machine: false,
+                        sticky: true,
+                        log_filter_entries: 16,
+                        coherence: CoherenceKind::DirectoryMesi,
+                        warmup_units: 0,
+                    })
+                    .expect("run")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

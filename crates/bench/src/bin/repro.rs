@@ -1,0 +1,132 @@
+//! `repro` — regenerates every table and figure of the LogTM-SE paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] <subcommand>
+//!
+//! Subcommands:
+//!   table1         System model parameters (paper Table 1)
+//!   table2         Benchmarks and transaction footprints (Table 2)
+//!   figure4        Speedup over locks, all signatures (Figure 4)
+//!   table3         Signature size vs. conflict detection (Table 3)
+//!   victimization  Transactional victimization counts (Result 4)
+//!   table4         Virtualization-technique comparison (Table 4)
+//!   sweep          Ablation A1: signature size sweep
+//!   sticky         Ablation A2: sticky states on/off
+//!   logfilter      Ablation A3: log-filter size
+//!   virt           Ablation A4: context-switch overhead
+//!   snooping       §7: directory vs. snooping coherence
+//!   policies       Contention managers (future-work hook)
+//!   multicmp       §7: multiple-CMP partitioning
+//!   nesting        Partial aborts: flat vs. nested (§3.2)
+//!   smt            16×2 SMT vs. 32×1 cores, sibling-conflict cost
+//!   all            Everything above, in order
+//! ```
+//!
+//! `--quick` runs at reduced scale (for smoke tests); `--csv` emits
+//! machine-readable CSV for `table2`, `figure4`, and `table3`.
+
+use logtm_se::{MemConfig, SystemBuilder};
+use ltse_bench::experiments::ExperimentScale;
+use ltse_bench::render;
+use ltse_bench::*;
+
+fn table1_text() -> String {
+    let b = SystemBuilder::paper_default();
+    let m: MemConfig = *b.mem_config_view();
+    let lat = m.latency;
+    format!(
+        "Table 1: system model parameters\n\
+         Processor cores       {} cores, {}-way SMT ({} thread contexts)\n\
+         L1 cache              {} sets x {} ways, 64-byte blocks, {} cycle hit\n\
+         L2 cache              {} banks x {} sets x {} ways, 64-byte blocks, {} cycle access\n\
+         Memory                {} cycle latency\n\
+         L2 directory          full bit-vector sharer list + exclusive pointer, {} cycle latency\n\
+         Interconnect          {}x{} grid, {}-cycle links\n\
+         Sticky states         {}\n",
+        m.n_cores,
+        m.smt_per_core,
+        m.n_ctxs(),
+        m.l1.sets,
+        m.l1.ways,
+        lat.l1_hit.as_u64(),
+        m.n_banks,
+        m.l2_bank.sets,
+        m.l2_bank.ways,
+        lat.l2_access.as_u64(),
+        lat.dram.as_u64(),
+        lat.directory.as_u64(),
+        m.grid_width,
+        m.grid_height,
+        lat.link.as_u64(),
+        m.sticky_enabled,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::full()
+    };
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let run_one = |name: &str| match name {
+        "table1" => print!("{}", table1_text()),
+        "table2" if csv => print!("{}", render::csv_table2(&table2(&scale))),
+        "table2" => print!("{}", render::render_table2(&table2(&scale))),
+        "figure4" if csv => print!("{}", render::csv_figure4(&figure4(&scale))),
+        "figure4" => print!("{}", render::render_figure4(&figure4(&scale))),
+        "table3" if csv => print!("{}", render::csv_table3(&table3(&scale))),
+        "table3" => print!("{}", render::render_table3(&table3(&scale))),
+        "victimization" => print!("{}", render::render_victimization(&victimization(&scale))),
+        "table4" => print!("{}", logtm_se::substrates::tm::virt_compare::render_table4()),
+        "sweep" => print!("{}", render::render_sweep(&signature_sweep(&scale))),
+        "sticky" => print!("{}", render::render_sticky(&sticky_ablation(&scale))),
+        "logfilter" => print!("{}", render::render_log_filter(&log_filter_ablation(&scale))),
+        "virt" => print!("{}", render::render_virt(&virtualization_overhead(&scale))),
+        "snooping" => print!("{}", render::render_snooping(&snooping_comparison(&scale))),
+        "policies" => print!("{}", render::render_policies(&contention_policies(&scale))),
+        "multicmp" => print!("{}", render::render_multi_cmp(&multi_cmp_comparison(&scale))),
+        "nesting" => print!("{}", render::render_nesting(&nesting_ablation(&scale))),
+        "smt" => print!("{}", render::render_smt(&smt_comparison(&scale))),
+        other => {
+            eprintln!("unknown subcommand: {other}");
+            eprintln!("known: table1 table2 figure4 table3 victimization table4 sweep sticky logfilter virt snooping policies multicmp nesting smt all");
+            std::process::exit(2);
+        }
+    };
+
+    if cmd == "all" {
+        for name in [
+            "table1",
+            "table2",
+            "figure4",
+            "table3",
+            "victimization",
+            "table4",
+            "sweep",
+            "sticky",
+            "logfilter",
+            "virt",
+            "snooping",
+            "policies",
+            "multicmp",
+            "nesting",
+            "smt",
+        ] {
+            run_one(name);
+            println!();
+        }
+    } else {
+        run_one(cmd);
+    }
+}

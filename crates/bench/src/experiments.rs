@@ -1,0 +1,1002 @@
+//! The experiment implementations.
+
+use logtm_se::{CoherenceKind, Cycle, RunReport, SignatureKind, SystemBuilder};
+use ltse_sim::config::seed_sequence;
+use ltse_sim::stats::SampleSet;
+use ltse_workloads::{run_benchmark, Benchmark, RunParams, SyncMode};
+
+/// How big each experiment runs: the trade-off between statistical quality
+/// and wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Worker threads (the paper's machine has 32 contexts).
+    pub threads: u32,
+    /// Units of work per thread.
+    pub units_per_thread: u64,
+    /// Seeds per datapoint (95 % CIs need several; the paper perturbs each
+    /// simulation pseudo-randomly, §6.1).
+    pub seeds: usize,
+    /// Base seed for the seed sequence.
+    pub base_seed: u64,
+    /// Total units of work run (and discarded) before measurement starts —
+    /// the paper's warmed "representative execution samples" (§6.2).
+    pub warmup_units: u64,
+}
+
+impl ExperimentScale {
+    /// Full scale for the `repro` binary (minutes of wall clock).
+    pub fn full() -> Self {
+        ExperimentScale {
+            threads: 32,
+            units_per_thread: 24,
+            seeds: 5,
+            base_seed: 0xC0FFEE,
+            warmup_units: 96,
+        }
+    }
+
+    /// Reduced scale for Criterion benches and smoke tests (seconds).
+    pub fn quick() -> Self {
+        ExperimentScale {
+            threads: 8,
+            units_per_thread: 6,
+            seeds: 3,
+            base_seed: 0xC0FFEE,
+            warmup_units: 8,
+        }
+    }
+}
+
+fn params(
+    scale: &ExperimentScale,
+    benchmark: Benchmark,
+    mode: SyncMode,
+    signature: SignatureKind,
+    seed: u64,
+) -> RunParams {
+    RunParams {
+        benchmark,
+        mode,
+        signature,
+        threads: scale.threads,
+        units_per_thread: scale.units_per_thread,
+        seed,
+        small_machine: false,
+        sticky: true,
+        log_filter_entries: 16,
+        coherence: CoherenceKind::DirectoryMesi,
+        warmup_units: 0,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Contention-manager comparison (the paper's future-work hook)
+// ---------------------------------------------------------------------
+
+/// One datapoint of the contention-policy comparison.
+#[derive(Debug, Clone)]
+pub struct PolicyRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The policy.
+    pub policy: logtm_se::ContentionPolicy,
+    /// Cycles to complete the fixed work.
+    pub cycles: Cycle,
+    /// Aborts.
+    pub aborts: u64,
+    /// Stalls.
+    pub stalls: u64,
+    /// Cycles inside transactions that ultimately aborted.
+    pub wasted_cycles: u64,
+    /// Whether the run finished its fixed work (the naive
+    /// requester-aborts manager can livelock under heavy contention —
+    /// exactly why LogTM's default stalls).
+    pub completed: bool,
+}
+
+/// Compares the three contention managers on the two most contended
+/// benchmarks.
+pub fn contention_policies(scale: &ExperimentScale) -> Vec<PolicyRow> {
+    use logtm_se::ContentionPolicy;
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    let mut rows = Vec::new();
+    for benchmark in [Benchmark::BerkeleyDb, Benchmark::Raytrace] {
+        for policy in [
+            ContentionPolicy::RequesterStalls,
+            ContentionPolicy::RequesterAborts,
+            ContentionPolicy::SizeMatters,
+        ] {
+            let mut system = SystemBuilder::paper_default()
+                .signature(SignatureKind::paper_bs_2kb())
+                .contention(policy)
+                .seed(seed)
+                .limits(ltse_sim::config::SimLimits {
+                    max_cycles: Cycle(10_000_000),
+                    max_events: 1_000_000_000,
+                })
+                .build();
+            for program in
+                benchmark.programs(SyncMode::Tm, scale.threads, scale.units_per_thread)
+            {
+                system.add_thread(program);
+            }
+            let completed = system.run().is_ok();
+            let r = system.report();
+            rows.push(PolicyRow {
+                benchmark,
+                policy,
+                cycles: r.cycles,
+                aborts: r.tm.aborts,
+                stalls: r.tm.stalls,
+                wasted_cycles: r.tm.wasted_cycles,
+                completed,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// SMT: 32 contexts as 16×2 SMT vs. 32×1 single-threaded cores
+// ---------------------------------------------------------------------
+
+/// One datapoint of the SMT comparison.
+#[derive(Debug, Clone)]
+pub struct SmtRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// `"16x2 SMT"` or `"32x1"`.
+    pub machine: &'static str,
+    /// Cycles to complete the fixed work.
+    pub cycles: Cycle,
+    /// Stalls caused by the SMT sibling sharing the L1 (zero without SMT).
+    pub sibling_stalls: u64,
+    /// All stalls.
+    pub stalls: u64,
+}
+
+/// Compares 32 threads on the paper's 16-core × 2-SMT machine against the
+/// same threads on 32 single-threaded cores. LogTM-SE's pitch is that SMT
+/// costs only replicated signatures (cheap); the residual difference is L1
+/// sharing and same-core conflict checks — both measured here.
+pub fn smt_comparison(scale: &ExperimentScale) -> Vec<SmtRow> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    let mut rows = Vec::new();
+    for benchmark in [Benchmark::Mp3d, Benchmark::BerkeleyDb] {
+        for (machine, n_cores, smt, grid) in
+            [("16x2 SMT", 16u8, 2u8, (4usize, 4usize)), ("32x1", 32, 1, (6, 6))]
+        {
+            let mut mem = logtm_se::MemConfig::paper_cmp();
+            mem.n_cores = n_cores;
+            mem.smt_per_core = smt;
+            mem.grid_width = grid.0;
+            mem.grid_height = grid.1;
+            let mut system = SystemBuilder::paper_default()
+                .mem_config(mem)
+                .signature(SignatureKind::paper_bs_2kb())
+                .seed(seed)
+                .build();
+            for program in benchmark.programs(SyncMode::Tm, 32, scale.units_per_thread) {
+                system.add_thread(program);
+            }
+            let r = system.run().expect("SMT run completes");
+            rows.push(SmtRow {
+                benchmark,
+                machine,
+                cycles: r.cycles,
+                sibling_stalls: r.tm.sibling_stalls,
+                stalls: r.tm.stalls,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Nesting ablation: what partial aborts buy (§3.2)
+// ---------------------------------------------------------------------
+
+/// One datapoint of the nesting ablation.
+#[derive(Debug, Clone)]
+pub struct NestingRow {
+    /// `"flat"` or `"nested"`.
+    pub shape: &'static str,
+    /// Cycles to complete the fixed work.
+    pub cycles: Cycle,
+    /// Outermost aborts.
+    pub aborts: u64,
+    /// Partial (inner-frame) aborts.
+    pub partial_aborts: u64,
+    /// Cycles invested in transactions that ultimately aborted.
+    pub wasted_cycles: u64,
+}
+
+/// A synthetic producer whose expensive private phase precedes a contended
+/// shared phase. Flat transactions lose the private work on every conflict;
+/// closed nesting confines aborts to the cheap inner frame (§3.2's
+/// motivation for partial aborts).
+pub fn nesting_ablation(scale: &ExperimentScale) -> Vec<NestingRow> {
+    use logtm_se::{Op, ProgCtx, ThreadProgram, WordAddr};
+
+    struct Producer {
+        nested: bool,
+        me: u64,
+        remaining: u64,
+        step: u8,
+    }
+    impl ThreadProgram for Producer {
+        fn next_op(&mut self, _t: &mut ProgCtx) -> Op {
+            let hot = |i: u64| WordAddr((i % 2) * 8);
+            match self.step {
+                0 => {
+                    if self.remaining == 0 {
+                        return Op::Done;
+                    }
+                    self.step = 1;
+                    Op::TxBegin
+                }
+                // Expensive private phase: read + write a private slab.
+                1 => {
+                    self.step = 2;
+                    Op::FetchAdd(WordAddr(4096 + self.me * 64), 1)
+                }
+                2 => {
+                    self.step = 3;
+                    Op::Work(2_500)
+                }
+                3 => {
+                    self.step = 4;
+                    if self.nested {
+                        Op::TxBegin // inner frame around the contended phase
+                    } else {
+                        Op::Work(1)
+                    }
+                }
+                // Contended phase: opposite-order hot pair ⇒ deadlocks.
+                4 => {
+                    self.step = 5;
+                    Op::FetchAdd(hot(self.me), 1)
+                }
+                5 => {
+                    self.step = 6;
+                    Op::Work(80)
+                }
+                6 => {
+                    self.step = 7;
+                    Op::FetchAdd(hot(self.me + 1), 1)
+                }
+                7 => {
+                    self.step = 8;
+                    if self.nested {
+                        Op::TxCommit // inner
+                    } else {
+                        Op::Work(1)
+                    }
+                }
+                8 => {
+                    self.step = 9;
+                    Op::TxCommit // outer
+                }
+                _ => {
+                    self.step = 0;
+                    self.remaining -= 1;
+                    Op::WorkUnitDone
+                }
+            }
+        }
+        fn on_tx_abort(&mut self, _t: &mut ProgCtx) {
+            self.step = 0;
+        }
+        fn on_partial_abort(&mut self, _t: &mut ProgCtx, remaining_depth: usize) -> bool {
+            debug_assert_eq!(remaining_depth, 1);
+            self.step = 3; // retry from the inner begin; private work kept
+            true
+        }
+    }
+
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    let mut rows = Vec::new();
+    for (shape, nested) in [("flat", false), ("nested", true)] {
+        let mut system = SystemBuilder::paper_default()
+            .signature(SignatureKind::paper_bs_2kb())
+            .seed(seed)
+            .build();
+        for t in 0..scale.threads.min(16) as u64 {
+            system.add_thread(Box::new(Producer {
+                nested,
+                me: t,
+                remaining: scale.units_per_thread,
+                step: 0,
+            }));
+        }
+        let r = system.run().expect("nesting run completes");
+        rows.push(NestingRow {
+            shape,
+            cycles: r.cycles,
+            aborts: r.tm.aborts,
+            partial_aborts: r.tm.partial_aborts,
+            wasted_cycles: r.tm.wasted_cycles,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// §7: the multiple-CMP system
+// ---------------------------------------------------------------------
+
+/// One datapoint of the §7 multiple-CMP comparison.
+#[derive(Debug, Clone)]
+pub struct MultiCmpRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Chips the 16 cores are partitioned over.
+    pub chips: u8,
+    /// Cycles to complete the fixed work.
+    pub cycles: Cycle,
+    /// Messages that crossed a chip boundary.
+    pub interchip_messages: u64,
+    /// Total protocol messages.
+    pub messages: u64,
+}
+
+/// Compares the single-CMP baseline against 2- and 4-chip partitions of
+/// the same 16-core machine (paper §7 "Multiple CMPs": inter-chip directory
+/// coherence over point-to-point links).
+pub fn multi_cmp_comparison(scale: &ExperimentScale) -> Vec<MultiCmpRow> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    let mut rows = Vec::new();
+    for benchmark in [Benchmark::Mp3d, Benchmark::BerkeleyDb] {
+        for chips in [1u8, 2, 4] {
+            let mut system = SystemBuilder::paper_default()
+                .signature(SignatureKind::paper_bs_2kb())
+                .chips(chips)
+                .seed(seed)
+                .build();
+            for program in
+                benchmark.programs(SyncMode::Tm, scale.threads, scale.units_per_thread)
+            {
+                system.add_thread(program);
+            }
+            let r = system.run().expect("multi-CMP run completes");
+            rows.push(MultiCmpRow {
+                benchmark,
+                chips,
+                cycles: r.cycles,
+                interchip_messages: r.mem.interchip_messages.get(),
+                messages: r.mem.messages.get(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// §7: the snooping-CMP variant
+// ---------------------------------------------------------------------
+
+/// One datapoint of the §7 directory-vs-snooping comparison.
+#[derive(Debug, Clone)]
+pub struct SnoopRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Which coherence substrate.
+    pub coherence: CoherenceKind,
+    /// Signature configuration.
+    pub signature: SignatureKind,
+    /// Cycles to complete the fixed work.
+    pub cycles: Cycle,
+    /// Interconnect messages (the bandwidth proxy; the paper picks the
+    /// directory for "less bandwidth demand").
+    pub messages: u64,
+    /// False-positive percentage — the paper conjectures snooping "may
+    /// need larger signatures to achieve comparable false positive rates"
+    /// because every broadcast consults every signature.
+    pub false_positive_pct: Option<f64>,
+    /// Stalls (NACKed requests).
+    pub stalls: u64,
+}
+
+/// Compares the paper's §5 directory CMP with its §7 snooping CMP on two
+/// benchmarks, at a large and a small signature.
+pub fn snooping_comparison(scale: &ExperimentScale) -> Vec<SnoopRow> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    let mut rows = Vec::new();
+    for benchmark in [Benchmark::Mp3d, Benchmark::Raytrace] {
+        for coherence in [CoherenceKind::DirectoryMesi, CoherenceKind::SnoopingMesi] {
+            for signature in [SignatureKind::paper_bs_2kb(), SignatureKind::paper_bs_64()] {
+                let mut p = params(scale, benchmark, SyncMode::Tm, signature, seed);
+                p.coherence = coherence;
+                let r = run(&p);
+                rows.push(SnoopRow {
+                    benchmark,
+                    coherence,
+                    signature,
+                    cycles: r.cycles,
+                    messages: r.mem.messages.get(),
+                    false_positive_pct: r.tm.false_positive_pct(),
+                    stalls: r.tm.stalls,
+                });
+            }
+        }
+    }
+    rows
+}
+
+fn run(p: &RunParams) -> RunReport {
+    run_benchmark(p).unwrap_or_else(|e| panic!("{} {} failed: {e}", p.benchmark, p.mode))
+}
+
+// ---------------------------------------------------------------------
+// Figure 4: speedup over locks
+// ---------------------------------------------------------------------
+
+/// One bar of Figure 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Bar {
+    /// Bar label ("Lock", "P", "BS", "CBS", "DBS", "BS_64").
+    pub label: String,
+    /// Mean speedup normalized to the lock baseline.
+    pub speedup: f64,
+    /// Half-width of the 95 % confidence interval.
+    pub ci95: f64,
+}
+
+/// One benchmark's bars.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Bars in the paper's order.
+    pub bars: Vec<Fig4Bar>,
+}
+
+/// Regenerates Figure 4: execution-time speedups of LogTM-SE (perfect and
+/// realistic signatures) relative to the lock-based versions.
+pub fn figure4(scale: &ExperimentScale) -> Vec<Fig4Row> {
+    let seeds = seed_sequence(scale.base_seed, scale.seeds);
+    Benchmark::all()
+        .into_iter()
+        .map(|benchmark| {
+            // Paired per-seed throughputs: lock baseline first.
+            let lock_thr: Vec<f64> = seeds
+                .iter()
+                .map(|&s| {
+                    run(&params(scale, benchmark, SyncMode::Lock, SignatureKind::Perfect, s))
+                        .throughput_per_kcycle()
+                })
+                .collect();
+            let lock_mean = lock_thr.iter().sum::<f64>() / lock_thr.len() as f64;
+
+            let mut bars = vec![{
+                let ratios: SampleSet = lock_thr.iter().map(|t| t / lock_mean).collect();
+                let (speedup, ci95) = ratios.mean_ci95();
+                Fig4Bar {
+                    label: "Lock".into(),
+                    speedup,
+                    ci95,
+                }
+            }];
+
+            for kind in SignatureKind::figure4_set() {
+                let ratios: SampleSet = seeds
+                    .iter()
+                    .map(|&s| {
+                        run(&params(scale, benchmark, SyncMode::Tm, kind, s))
+                            .throughput_per_kcycle()
+                            / lock_mean
+                    })
+                    .collect();
+                let (speedup, ci95) = ratios.mean_ci95();
+                let label = match kind {
+                    SignatureKind::Perfect => "P".to_string(),
+                    SignatureKind::BitSelect { bits: 2048 } => "BS".to_string(),
+                    SignatureKind::CoarseBitSelect { bits: 2048, .. } => "CBS".to_string(),
+                    SignatureKind::DoubleBitSelect { bits: 2048 } => "DBS".to_string(),
+                    SignatureKind::BitSelect { bits: 64 } => "BS_64".to_string(),
+                    other => other.label(),
+                };
+                bars.push(Fig4Bar {
+                    label,
+                    speedup,
+                    ci95,
+                });
+            }
+            Fig4Row { benchmark, bars }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 2: benchmarks, units, set sizes
+// ---------------------------------------------------------------------
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Input label.
+    pub input: &'static str,
+    /// Unit-of-work label.
+    pub unit: &'static str,
+    /// Units completed.
+    pub units: u64,
+    /// Transactions measured (commits).
+    pub transactions: u64,
+    /// Read-set blocks: average.
+    pub read_avg: f64,
+    /// Read-set blocks: maximum.
+    pub read_max: u64,
+    /// Read-set blocks: 95th percentile (tail analysis beyond the paper).
+    pub read_p95: u64,
+    /// Write-set blocks: average.
+    pub write_avg: f64,
+    /// Write-set blocks: maximum.
+    pub write_max: u64,
+}
+
+/// Regenerates Table 2 from perfect-signature TM runs.
+pub fn table2(scale: &ExperimentScale) -> Vec<Table2Row> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    Benchmark::all()
+        .into_iter()
+        .map(|benchmark| {
+            let r = run(&params(scale, benchmark, SyncMode::Tm, SignatureKind::Perfect, seed));
+            Table2Row {
+                benchmark,
+                input: benchmark.input_label(),
+                unit: benchmark.unit_label(),
+                units: r.tm.work_units,
+                transactions: r.tm.commits,
+                read_avg: r.tm.read_set.mean().unwrap_or(0.0),
+                read_max: r.tm.read_set.max().unwrap_or(0),
+                read_p95: r.tm.read_set_hist.percentile(95).unwrap_or(0),
+                write_avg: r.tm.write_set.mean().unwrap_or(0.0),
+                write_max: r.tm.write_set.max().unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 3: impact of signature size on conflict detection
+// ---------------------------------------------------------------------
+
+/// One configuration row of Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// The benchmark (the paper shows Raytrace and BerkeleyDB).
+    pub benchmark: Benchmark,
+    /// Signature configuration.
+    pub signature: SignatureKind,
+    /// Committed transactions.
+    pub transactions: u64,
+    /// Aborts.
+    pub aborts: u64,
+    /// Stalls (NACKed requests).
+    pub stalls: u64,
+    /// False positives as a percentage of all conflicts signalled
+    /// (`None` when no conflicts were signalled).
+    pub false_positive_pct: Option<f64>,
+}
+
+/// Signature set of Table 3: perfect, the three 2 Kb schemes, and the same
+/// schemes at 64 bits.
+pub fn table3_signatures() -> Vec<SignatureKind> {
+    vec![
+        SignatureKind::Perfect,
+        SignatureKind::BitSelect { bits: 2048 },
+        SignatureKind::CoarseBitSelect {
+            bits: 2048,
+            blocks_per_macroblock: 16,
+        },
+        SignatureKind::DoubleBitSelect { bits: 2048 },
+        SignatureKind::BitSelect { bits: 64 },
+        SignatureKind::CoarseBitSelect {
+            bits: 64,
+            blocks_per_macroblock: 16,
+        },
+        SignatureKind::DoubleBitSelect { bits: 64 },
+    ]
+}
+
+/// Regenerates Table 3 for the paper's two focus benchmarks.
+pub fn table3(scale: &ExperimentScale) -> Vec<Table3Row> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    let mut rows = Vec::new();
+    for benchmark in [Benchmark::Raytrace, Benchmark::BerkeleyDb] {
+        for signature in table3_signatures() {
+            let r = run(&params(scale, benchmark, SyncMode::Tm, signature, seed));
+            rows.push(Table3Row {
+                benchmark,
+                signature,
+                transactions: r.tm.commits,
+                aborts: r.tm.aborts,
+                stalls: r.tm.stalls,
+                false_positive_pct: r.tm.false_positive_pct(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Result 4: victimization
+// ---------------------------------------------------------------------
+
+/// One row of the victimization summary (§6.3 Result 4).
+#[derive(Debug, Clone)]
+pub struct VictimRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Committed transactions.
+    pub transactions: u64,
+    /// Exact transactional blocks victimized from L1 or L2.
+    pub victimizations: u64,
+    /// Broadcast rebuilds after L2 directory loss.
+    pub broadcasts: u64,
+}
+
+/// Regenerates Result 4: how often transactional data is victimized.
+/// Raytrace gets extra units so its rare huge transactions appear.
+pub fn victimization(scale: &ExperimentScale) -> Vec<VictimRow> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    Benchmark::all()
+        .into_iter()
+        .map(|benchmark| {
+            let mut p = params(scale, benchmark, SyncMode::Tm, SignatureKind::Perfect, seed);
+            if benchmark == Benchmark::Raytrace {
+                p.units_per_thread = scale.units_per_thread * 4;
+            }
+            let r = run(&p);
+            VictimRow {
+                benchmark,
+                transactions: r.tm.commits,
+                victimizations: r.mem.tx_victimizations_exact(),
+                broadcasts: r.mem.lost_dir_broadcasts.get(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablation A1: signature size sweep
+// ---------------------------------------------------------------------
+
+/// One datapoint of the signature-size sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Signature configuration.
+    pub signature: SignatureKind,
+    /// Speedup vs. the lock baseline (single seed).
+    pub speedup: f64,
+    /// False-positive percentage.
+    pub false_positive_pct: Option<f64>,
+    /// Aborts.
+    pub aborts: u64,
+}
+
+/// Sweeps BS/DBS/CBS sizes from 64 b to 4 Kb on Raytrace and BerkeleyDB —
+/// the extension of Figure 4 / Table 3 the paper's sizing discussion
+/// implies.
+pub fn signature_sweep(scale: &ExperimentScale) -> Vec<SweepRow> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    let mut rows = Vec::new();
+    for benchmark in [Benchmark::Raytrace, Benchmark::BerkeleyDb] {
+        let lock = run(&params(scale, benchmark, SyncMode::Lock, SignatureKind::Perfect, seed))
+            .throughput_per_kcycle();
+        for bits in [64usize, 128, 256, 512, 1024, 2048, 4096] {
+            for signature in [
+                SignatureKind::BitSelect { bits },
+                SignatureKind::DoubleBitSelect { bits },
+                SignatureKind::CoarseBitSelect {
+                    bits,
+                    blocks_per_macroblock: 16,
+                },
+            ] {
+                let r = run(&params(scale, benchmark, SyncMode::Tm, signature, seed));
+                rows.push(SweepRow {
+                    benchmark,
+                    signature,
+                    speedup: r.throughput_per_kcycle() / lock,
+                    false_positive_pct: r.tm.false_positive_pct(),
+                    aborts: r.tm.aborts,
+                });
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Ablation A2: sticky states on/off
+// ---------------------------------------------------------------------
+
+/// One sticky-ablation datapoint.
+#[derive(Debug, Clone)]
+pub struct StickyRow {
+    /// Workload label.
+    pub workload: String,
+    /// Whether sticky states were enabled.
+    pub sticky: bool,
+    /// Cycles to complete the fixed work (or the watchdog bound if the run
+    /// livelocked).
+    pub cycles: Cycle,
+    /// Aborts (victimization without sticky forces conservative aborts).
+    pub aborts: u64,
+    /// Exact transactional victimizations.
+    pub victimizations: u64,
+    /// Whether the run finished its fixed work. Without sticky states a
+    /// transaction whose footprint exceeds L1 capacity must overflow,
+    /// every overflow must abort, and the workload livelocks — the
+    /// paper's §3.1 claim, demonstrated.
+    pub completed: bool,
+}
+
+/// Ablation A2: what sticky states buy. Without them, every victimization
+/// of transactional data conservatively aborts the transaction, as
+/// cache-resident HTMs must on overflow.
+///
+/// Note the asymmetry this ablation deliberately skirts: a transaction
+/// whose footprint *exceeds* L1 capacity (Raytrace's 550-block tail)
+/// cannot ever commit without sticky states — it livelocks, which is
+/// precisely the paper's motivation. The overflow microbenchmark here uses
+/// near-capacity (not over-capacity) read sets, so evictions are caused by
+/// SMT-sibling cache pressure and retries can succeed.
+pub fn sticky_ablation(scale: &ExperimentScale) -> Vec<StickyRow> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    let mut rows = Vec::new();
+
+    // Overflow microbenchmark: 200-block transactional read sets on cores
+    // whose two SMT contexts share a 512-block L1. With sticky states this
+    // victimizes freely and completes; without them it livelocks (bounded
+    // here by a 5M-cycle watchdog).
+    for sticky in [true, false] {
+        let mut system = SystemBuilder::paper_default()
+            .signature(SignatureKind::Perfect)
+            .sticky(sticky)
+            .seed(seed)
+            .limits(ltse_sim::config::SimLimits {
+                max_cycles: Cycle(5_000_000),
+                max_events: 500_000_000,
+            })
+            .build();
+        for t in 0..16u64 {
+            system.add_thread(Box::new(ltse_workloads::CsProgram::new(
+                ltse_workloads::HotColdArray::new(
+                    logtm_se::WordAddr(8 * ((1 << 20) + t * 64)), // private hot block
+                    logtm_se::WordAddr(8 * ((2 << 20) + t * 4096)),
+                    256,
+                    200,
+                    logtm_se::WordAddr(8 * (3 << 20)),
+                    scale.units_per_thread.max(4),
+                ),
+                SyncMode::Tm,
+                t << 32,
+            )));
+        }
+        let completed = system.run().is_ok();
+        let r = system.report();
+        rows.push(StickyRow {
+            workload: "overflow-micro".into(),
+            sticky,
+            cycles: r.cycles,
+            aborts: r.tm.aborts,
+            victimizations: r.mem.tx_victimizations_exact(),
+            completed,
+        });
+    }
+
+    // Mp3d: tiny footprints — sticky should cost/buy nothing.
+    for sticky in [true, false] {
+        let mut p = params(scale, Benchmark::Mp3d, SyncMode::Tm, SignatureKind::Perfect, seed);
+        p.sticky = sticky;
+        let r = run(&p);
+        rows.push(StickyRow {
+            workload: Benchmark::Mp3d.name().into(),
+            sticky,
+            cycles: r.cycles,
+            aborts: r.tm.aborts,
+            victimizations: r.mem.tx_victimizations_exact(),
+            completed: true,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Ablation A3: log-filter size
+// ---------------------------------------------------------------------
+
+/// One log-filter datapoint.
+#[derive(Debug, Clone)]
+pub struct LogFilterRow {
+    /// Filter entries (0 = disabled).
+    pub entries: usize,
+    /// Undo records actually written.
+    pub log_writes: u64,
+    /// Redundant writes suppressed by the filter.
+    pub suppressed: u64,
+    /// Cycles to complete the fixed work.
+    pub cycles: Cycle,
+}
+
+/// Ablation A3: the log filter's effect on redundant logging. The driver
+/// is a repeated-writer microbenchmark (each transaction stores 24 times
+/// over 6 blocks — the re-write pattern the filter exists for).
+pub fn log_filter_ablation(scale: &ExperimentScale) -> Vec<LogFilterRow> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    [0usize, 1, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .map(|entries| {
+            let mut system = SystemBuilder::paper_default()
+                .signature(SignatureKind::Perfect)
+                .log_filter_entries(entries)
+                .seed(seed)
+                .build();
+            for t in 0..scale.threads as u64 {
+                system.add_thread(Box::new(ltse_workloads::CsProgram::new(
+                    ltse_workloads::RepeatedWriter::new(
+                        logtm_se::WordAddr(8 * ((4 << 20) + t * 64)),
+                        6,
+                        24,
+                        logtm_se::WordAddr(8 * (5 << 20)),
+                        scale.units_per_thread,
+                    ),
+                    SyncMode::Tm,
+                    t << 32,
+                )));
+            }
+            let r = system.run().expect("repeated-writer completes");
+            LogFilterRow {
+                entries,
+                log_writes: r.tm.log_writes,
+                suppressed: r.tm.log_writes_suppressed,
+                cycles: r.cycles,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Ablation A4: virtualization overhead (context switching)
+// ---------------------------------------------------------------------
+
+/// One virtualization-overhead datapoint.
+#[derive(Debug, Clone)]
+pub struct VirtRow {
+    /// Preemption quantum, or `None` for the no-preemption baseline.
+    pub quantum: Option<Cycle>,
+    /// Whether in-transaction victims were deferred (paper §4.1, citation \[29\]).
+    pub defer_in_tx: bool,
+    /// Cycles to complete the fixed work.
+    pub cycles: Cycle,
+    /// Units of work completed (differs between baseline and
+    /// oversubscribed runs — compare cycles **per unit**).
+    pub units: u64,
+    /// Context switches that interrupted a transaction.
+    pub tx_deschedules: u64,
+    /// Summary signatures pushed to contexts.
+    pub summary_installs: u64,
+    /// Aborts.
+    pub aborts: u64,
+}
+
+/// Ablation A4: cost of context switching under LogTM-SE's summary
+/// signatures, with and without preemption deferral. BerkeleyDB with more
+/// threads than contexts forces the OS to multiplex mid-transaction (Mp3d
+/// would conflate the story with its per-step barrier, whose interaction
+/// with oversubscription is a scheduling pathology of its own).
+pub fn virtualization_overhead(scale: &ExperimentScale) -> Vec<VirtRow> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    let n_ctxs = 32u32; // the paper machine's thread contexts
+    let threads = n_ctxs * 3 / 2; // oversubscribe 1.5× the CONTEXTS
+    let mut rows = Vec::new();
+
+    let run_with = |threads: u32, preemption: Option<(Cycle, bool)>| -> RunReport {
+        let mut builder = SystemBuilder::paper_default()
+            .signature(SignatureKind::paper_bs_2kb())
+            .seed(seed);
+        if let Some((q, defer)) = preemption {
+            builder = builder.preemption(q, defer);
+        }
+        let mut system = builder.build();
+        for program in
+            Benchmark::BerkeleyDb.programs(SyncMode::Tm, threads, scale.units_per_thread)
+        {
+            system.add_thread(program);
+        }
+        system.run().expect("virtualization run completes")
+    };
+
+    // Baseline: exactly as many threads as contexts, no preemption; same
+    // total units as the oversubscribed runs do per thread.
+    let baseline = run_with(n_ctxs, None);
+    rows.push(VirtRow {
+        quantum: None,
+        defer_in_tx: false,
+        cycles: baseline.cycles,
+        units: baseline.tm.work_units,
+        tx_deschedules: baseline.os.tx_deschedules,
+        summary_installs: baseline.os.summary_installs,
+        aborts: baseline.tm.aborts,
+    });
+
+    for quantum in [Cycle(20_000), Cycle(5_000)] {
+        for defer in [true, false] {
+            let r = run_with(threads, Some((quantum, defer)));
+            rows.push(VirtRow {
+                quantum: Some(quantum),
+                defer_in_tx: defer,
+                cycles: r.cycles,
+                units: r.tm.work_units,
+                tx_deschedules: r.os.tx_deschedules,
+                summary_installs: r.os.summary_installs,
+                aborts: r.tm.aborts,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            threads: 4,
+            units_per_thread: 2,
+            seeds: 2,
+            base_seed: 7,
+            warmup_units: 0,
+        }
+    }
+
+    #[test]
+    fn figure4_produces_six_bars_per_benchmark() {
+        let rows = figure4(&tiny());
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert_eq!(row.bars.len(), 6);
+            assert_eq!(row.bars[0].label, "Lock");
+            assert!((row.bars[0].speedup - 1.0).abs() < 0.5, "lock ≈ 1.0");
+            for bar in &row.bars {
+                assert!(bar.speedup > 0.0, "{} {}", row.benchmark, bar.label);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_rows_have_footprints() {
+        let rows = table2(&tiny());
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.transactions > 0, "{}", row.benchmark);
+            assert!(row.read_avg > 0.0);
+            assert!(row.read_max as f64 >= row.read_avg);
+        }
+    }
+
+    #[test]
+    fn table3_has_rows_for_both_benchmarks() {
+        let rows = table3(&tiny());
+        assert_eq!(rows.len(), 2 * table3_signatures().len());
+        // Perfect signatures can never produce false positives.
+        for row in rows.iter().filter(|r| r.signature == SignatureKind::Perfect) {
+            assert!(matches!(row.false_positive_pct, None | Some(0.0)));
+        }
+    }
+
+    #[test]
+    fn log_filter_zero_suppresses_nothing() {
+        let rows = log_filter_ablation(&tiny());
+        let zero = rows.iter().find(|r| r.entries == 0).unwrap();
+        let sixteen = rows.iter().find(|r| r.entries == 16).unwrap();
+        assert_eq!(zero.suppressed, 0, "disabled filter suppresses nothing");
+        assert!(zero.log_writes >= sixteen.log_writes);
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness: every table and figure of the paper's evaluation,
+//! regenerated as structured data plus aligned-text rendering.
+//!
+//! The `repro` binary is the command-line front end; Criterion benches
+//! reuse the same experiment functions at reduced scale. See DESIGN.md's
+//! experiment index for the mapping from paper artifact to function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;
+
+pub use experiments::{
+    contention_policies, figure4, log_filter_ablation, multi_cmp_comparison, nesting_ablation,
+    signature_sweep, smt_comparison, snooping_comparison, sticky_ablation, table2, table3,
+    victimization, virtualization_overhead, ExperimentScale, Fig4Bar, Fig4Row, LogFilterRow,
+    MultiCmpRow, NestingRow, PolicyRow, SmtRow, SnoopRow, StickyRow, SweepRow, Table2Row,
+    Table3Row, VictimRow, VirtRow,
+};

@@ -1,0 +1,410 @@
+//! Aligned-text rendering of experiment results (what `repro` prints).
+
+use crate::experiments::{
+    Fig4Row, LogFilterRow, MultiCmpRow, NestingRow, PolicyRow, SmtRow, SnoopRow, StickyRow,
+    SweepRow, Table2Row, Table3Row, VictimRow, VirtRow,
+};
+
+/// Renders Figure 4 as a table of speedups (mean ± 95 % CI half-width).
+pub fn render_figure4(rows: &[Fig4Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 4: speedup normalized to locks (mean ± 95% CI)\n");
+    out.push_str(&format!("{:<12}", "Benchmark"));
+    if let Some(first) = rows.first() {
+        for bar in &first.bars {
+            out.push_str(&format!(" {:>14}", bar.label));
+        }
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<12}", row.benchmark.name()));
+        for bar in &row.bars {
+            out.push_str(&format!(" {:>7.2} ±{:>4.2}", bar.speedup, bar.ci95));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table 2.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: benchmarks and measured transaction footprints\n");
+    out.push_str(&format!(
+        "{:<12} {:<22} {:<28} {:>7} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}\n",
+        "Benchmark", "Input", "Unit of Work", "Units", "Txns", "ReadAvg", "ReadP95", "ReadMax",
+        "WriteAvg", "WriteMax"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<22} {:<28} {:>7} {:>8} {:>8.1} {:>8} {:>8} {:>9.1} {:>9}\n",
+            r.benchmark.name(),
+            r.input,
+            r.unit,
+            r.units,
+            r.transactions,
+            r.read_avg,
+            r.read_p95,
+            r.read_max,
+            r.write_avg,
+            r.write_max
+        ));
+    }
+    out
+}
+
+/// Renders Table 3.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3: impact of signature configuration on conflict detection\n");
+    out.push_str(&format!(
+        "{:<12} {:<10} {:>8} {:>8} {:>8} {:>8}\n",
+        "Benchmark", "Signature", "Txns", "Aborts", "Stalls", "FalseP%"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<10} {:>8} {:>8} {:>8} {:>8}\n",
+            r.benchmark.name(),
+            r.signature.label(),
+            r.transactions,
+            r.aborts,
+            r.stalls,
+            r.false_positive_pct
+                .map(|p| format!("{p:.1}"))
+                .unwrap_or_else(|| "-".into()),
+        ));
+    }
+    out
+}
+
+/// Renders the Result 4 victimization summary.
+pub fn render_victimization(rows: &[VictimRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Result 4: victimization of transactional blocks (L1+L2, exact)\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>15} {:>12}\n",
+        "Benchmark", "Txns", "Victimizations", "Broadcasts"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>15} {:>12}\n",
+            r.benchmark.name(),
+            r.transactions,
+            r.victimizations,
+            r.broadcasts
+        ));
+    }
+    out
+}
+
+/// Renders the signature-size sweep (ablation A1).
+pub fn render_sweep(rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Ablation A1: signature size sweep (speedup vs locks; FP%)\n");
+    out.push_str(&format!(
+        "{:<12} {:<10} {:>8} {:>8} {:>8}\n",
+        "Benchmark", "Signature", "Speedup", "FalseP%", "Aborts"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<10} {:>8.2} {:>8} {:>8}\n",
+            r.benchmark.name(),
+            r.signature.label(),
+            r.speedup,
+            r.false_positive_pct
+                .map(|p| format!("{p:.1}"))
+                .unwrap_or_else(|| "-".into()),
+            r.aborts
+        ));
+    }
+    out
+}
+
+/// Renders the sticky-state ablation (A2).
+pub fn render_sticky(rows: &[StickyRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Ablation A2: sticky states on/off\n");
+    out.push_str(&format!(
+        "{:<14} {:<7} {:>12} {:>8} {:>15} {:>10}\n",
+        "Workload", "Sticky", "Cycles", "Aborts", "Victimizations", "Finished"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:<7} {:>12} {:>8} {:>15} {:>10}\n",
+            r.workload,
+            r.sticky,
+            r.cycles.as_u64(),
+            r.aborts,
+            r.victimizations,
+            if r.completed { "yes" } else { "LIVELOCK" }
+        ));
+    }
+    out
+}
+
+/// Renders the log-filter ablation (A3).
+pub fn render_log_filter(rows: &[LogFilterRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Ablation A3: log-filter size (repeated-writer micro)\n");
+    out.push_str(&format!(
+        "{:>8} {:>10} {:>11} {:>12}\n",
+        "Entries", "LogWrites", "Suppressed", "Cycles"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8} {:>10} {:>11} {:>12}\n",
+            r.entries,
+            r.log_writes,
+            r.suppressed,
+            r.cycles.as_u64()
+        ));
+    }
+    out
+}
+
+/// Renders the virtualization-overhead ablation (A4).
+pub fn render_virt(rows: &[VirtRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Ablation A4: context-switch virtualization overhead (BerkeleyDB, 1.5× oversubscribed)\n");
+    out.push_str(&format!(
+        "{:>10} {:>7} {:>12} {:>8} {:>10} {:>14} {:>16} {:>8}\n",
+        "Quantum", "Defer", "Cycles", "Units", "Cyc/Unit", "TxDeschedules", "SummaryInstalls", "Aborts"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>7} {:>12} {:>8} {:>10.0} {:>14} {:>16} {:>8}\n",
+            r.quantum
+                .map(|q| q.as_u64().to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.defer_in_tx,
+            r.cycles.as_u64(),
+            r.units,
+            r.cycles.as_u64() as f64 / r.units.max(1) as f64,
+            r.tx_deschedules,
+            r.summary_installs,
+            r.aborts
+        ));
+    }
+    out
+}
+
+/// Renders the SMT comparison.
+pub fn render_smt(rows: &[SmtRow]) -> String {
+    let mut out = String::new();
+    out.push_str("SMT: 32 threads on 16×2 SMT vs. 32×1 cores\n");
+    out.push_str(&format!(
+        "{:<12} {:<10} {:>12} {:>14} {:>10}\n",
+        "Benchmark", "Machine", "Cycles", "SiblingStalls", "Stalls"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<10} {:>12} {:>14} {:>10}\n",
+            r.benchmark.name(),
+            r.machine,
+            r.cycles.as_u64(),
+            r.sibling_stalls,
+            r.stalls
+        ));
+    }
+    out
+}
+
+/// Renders the nesting ablation.
+pub fn render_nesting(rows: &[NestingRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Nesting ablation: flat vs. closed-nested contended phase (§3.2)\n");
+    out.push_str(&format!(
+        "{:<8} {:>12} {:>8} {:>14} {:>12}\n",
+        "Shape", "Cycles", "Aborts", "PartialAborts", "WastedCyc"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>8} {:>14} {:>12}\n",
+            r.shape,
+            r.cycles.as_u64(),
+            r.aborts,
+            r.partial_aborts,
+            r.wasted_cycles
+        ));
+    }
+    out
+}
+
+/// Renders the §7 multiple-CMP comparison.
+pub fn render_multi_cmp(rows: &[MultiCmpRow]) -> String {
+    let mut out = String::new();
+    out.push_str("§7: multiple CMPs — partitioning 16 cores over chips\n");
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>12} {:>12} {:>12}\n",
+        "Benchmark", "Chips", "Cycles", "Interchip", "Messages"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>12} {:>12} {:>12}\n",
+            r.benchmark.name(),
+            r.chips,
+            r.cycles.as_u64(),
+            r.interchip_messages,
+            r.messages
+        ));
+    }
+    out
+}
+
+/// Renders the contention-manager comparison.
+pub fn render_policies(rows: &[PolicyRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Contention managers on NACKs (future-work hook of §2)\n");
+    out.push_str(&format!(
+        "{:<12} {:<16} {:>12} {:>8} {:>10} {:>12} {:>10}\n",
+        "Benchmark", "Policy", "Cycles", "Aborts", "Stalls", "WastedCyc", "Finished"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<16} {:>12} {:>8} {:>10} {:>12} {:>10}\n",
+            r.benchmark.name(),
+            format!("{:?}", r.policy),
+            r.cycles.as_u64(),
+            r.aborts,
+            r.stalls,
+            r.wasted_cycles,
+            if r.completed { "yes" } else { "LIVELOCK" }
+        ));
+    }
+    out
+}
+
+/// Renders the §7 directory-vs-snooping comparison.
+pub fn render_snooping(rows: &[SnoopRow]) -> String {
+    let mut out = String::new();
+    out.push_str("§7: directory vs. snooping coherence (TM mode)\n");
+    out.push_str(&format!(
+        "{:<12} {:<10} {:<10} {:>12} {:>12} {:>8} {:>8}\n",
+        "Benchmark", "Coherence", "Signature", "Cycles", "Messages", "Stalls", "FalseP%"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<10} {:<10} {:>12} {:>12} {:>8} {:>8}\n",
+            r.benchmark.name(),
+            r.coherence.to_string(),
+            r.signature.label(),
+            r.cycles.as_u64(),
+            r.messages,
+            r.stalls,
+            r.false_positive_pct
+                .map(|p| format!("{p:.1}"))
+                .unwrap_or_else(|| "-".into()),
+        ));
+    }
+    out
+}
+
+/// CSV form of Figure 4 (one row per benchmark × bar) for plotting.
+pub fn csv_figure4(rows: &[Fig4Row]) -> String {
+    let mut out = String::from("benchmark,config,speedup,ci95
+");
+    for row in rows {
+        for bar in &row.bars {
+            out.push_str(&format!(
+                "{},{},{:.4},{:.4}
+",
+                row.benchmark.name(),
+                bar.label,
+                bar.speedup,
+                bar.ci95
+            ));
+        }
+    }
+    out
+}
+
+/// CSV form of Table 2.
+pub fn csv_table2(rows: &[Table2Row]) -> String {
+    let mut out =
+        String::from("benchmark,units,transactions,read_avg,read_p95,read_max,write_avg,write_max
+");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{:.2},{},{},{:.2},{}
+",
+            r.benchmark.name(),
+            r.units,
+            r.transactions,
+            r.read_avg,
+            r.read_p95,
+            r.read_max,
+            r.write_avg,
+            r.write_max
+        ));
+    }
+    out
+}
+
+/// CSV form of Table 3.
+pub fn csv_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::from("benchmark,signature,transactions,aborts,stalls,false_positive_pct
+");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}
+",
+            r.benchmark.name(),
+            r.signature.label(),
+            r.transactions,
+            r.aborts,
+            r.stalls,
+            r.false_positive_pct
+                .map(|p| format!("{p:.2}"))
+                .unwrap_or_default(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentScale;
+
+    #[test]
+    fn renders_are_nonempty_and_headed() {
+        let tiny = ExperimentScale {
+            threads: 4,
+            units_per_thread: 2,
+            seeds: 2,
+            base_seed: 3,
+            warmup_units: 0,
+        };
+        let f4 = render_figure4(&crate::figure4(&tiny));
+        assert!(f4.contains("Figure 4"));
+        assert!(f4.contains("BerkeleyDB"));
+        assert!(f4.contains("BS_64"));
+
+        let t2 = render_table2(&crate::table2(&tiny));
+        assert!(t2.contains("Table 2"));
+        assert!(t2.contains("tk14.O"));
+    }
+
+    #[test]
+    fn csv_emitters_are_machine_readable() {
+        let tiny = ExperimentScale {
+            threads: 4,
+            units_per_thread: 2,
+            seeds: 2,
+            base_seed: 3,
+            warmup_units: 0,
+        };
+        let f4 = csv_figure4(&crate::figure4(&tiny));
+        let lines: Vec<&str> = f4.lines().collect();
+        assert_eq!(lines[0], "benchmark,config,speedup,ci95");
+        assert_eq!(lines.len(), 1 + 5 * 6, "5 benchmarks × 6 bars");
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 4);
+        }
+        let t2 = csv_table2(&crate::table2(&tiny));
+        assert!(t2.starts_with("benchmark,units,transactions"));
+        assert_eq!(t2.lines().count(), 6);
+        let t3 = csv_table3(&crate::table3(&tiny));
+        assert!(t3.lines().count() > 10);
+    }
+}

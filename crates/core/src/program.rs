@@ -1,0 +1,155 @@
+//! The workload-facing programming model.
+//!
+//! A workload is a set of [`ThreadProgram`]s, one per simulated thread. The
+//! system repeatedly asks each program for its next [`Op`]; the op executes
+//! against the simulated memory system with full coherence/TM semantics and
+//! its result is delivered through [`ProgCtx::last_value`] at the next
+//! `next_op` call. This mirrors how the paper drives GEMS from Simics: the
+//! memory model sees a reference stream with explicit transaction markers
+//! ("magic" instructions).
+
+use ltse_mem::WordAddr;
+use ltse_sim::rng::Xoshiro256StarStar;
+use ltse_sim::Cycle;
+
+/// One operation a thread asks the system to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Load a word; its value arrives in [`ProgCtx::last_value`].
+    Read(WordAddr),
+    /// Store a word (transactional when inside a transaction: the old value
+    /// is logged first, eager version management).
+    Write(WordAddr, u64),
+    /// Atomic compare-and-swap; `last_value` receives the *old* value (the
+    /// CAS succeeded iff `last_value == expected`). Used by the lock
+    /// baseline.
+    Cas {
+        /// Word to update.
+        addr: WordAddr,
+        /// Expected old value.
+        expected: u64,
+        /// Value to install on match.
+        new: u64,
+    },
+    /// Atomic fetch-and-add; `last_value` receives the old value.
+    FetchAdd(WordAddr, u64),
+    /// Compute for the given number of cycles without touching memory.
+    Work(u64),
+    /// Begin a (closed-nested when already in a transaction) transaction.
+    TxBegin,
+    /// Begin an open-nested transaction (must already be in a transaction).
+    TxBeginOpen,
+    /// Commit the innermost transaction.
+    TxCommit,
+    /// Enter an escape action: subsequent accesses are non-transactional
+    /// (no signature insertion, no logging) until [`Op::EscapeEnd`].
+    EscapeBegin,
+    /// Leave an escape action.
+    EscapeEnd,
+    /// Mark one unit of work complete (the paper's Table 2 throughput
+    /// metric). Free.
+    WorkUnitDone,
+    /// This thread has finished.
+    Done,
+}
+
+/// Per-thread context handed to [`ThreadProgram::next_op`].
+#[derive(Debug)]
+pub struct ProgCtx<'a> {
+    /// This thread's id.
+    pub thread_id: u32,
+    /// Result of the most recent *value-producing* op (a load's value, a
+    /// CAS/fetch-add's old value). Ops without results — `Work`, `TxBegin`,
+    /// `TxCommit`, escapes, `WorkUnitDone` — leave it unchanged, so a value
+    /// read before computing survives until it is used.
+    pub last_value: u64,
+    /// Current simulated time.
+    pub now: Cycle,
+    /// This thread's deterministic RNG stream.
+    pub rng: &'a mut Xoshiro256StarStar,
+}
+
+/// A resumable thread program.
+///
+/// Programs are state machines: each `next_op` call returns the next
+/// operation, and the program advances its internal state. When the
+/// enclosing transaction aborts, the system calls
+/// [`ThreadProgram::on_tx_abort`]; the program must rewind its state so the
+/// *next* `next_op` call re-issues the `TxBegin` of the aborted transaction
+/// (the register-checkpoint restore of real hardware).
+pub trait ThreadProgram {
+    /// Produce the next operation.
+    fn next_op(&mut self, t: &mut ProgCtx) -> Op;
+
+    /// The current transaction aborted (after its log was unrolled). Rewind
+    /// to re-issue `TxBegin`.
+    fn on_tx_abort(&mut self, t: &mut ProgCtx);
+
+    /// A *partial* abort (paper §3.2): only the innermost nested frame was
+    /// unrolled; `remaining_depth` frames are still live. Return `true` if
+    /// the program can rewind to re-issue the aborted inner `TxBegin`;
+    /// returning `false` (the default) makes the system abort the remaining
+    /// frames too and call [`ThreadProgram::on_tx_abort`].
+    fn on_partial_abort(&mut self, t: &mut ProgCtx, remaining_depth: usize) -> bool {
+        let _ = (t, remaining_depth);
+        false
+    }
+}
+
+/// A program built from a closure, for tests and simple scripts.
+///
+/// The closure receives `(ctx, abort_flag)` where `abort_flag` is `true`
+/// on the first call after an abort.
+///
+/// ```
+/// use logtm_se::{Op, FnProgram, WordAddr};
+///
+/// let mut hits = 0;
+/// let _p = FnProgram::new(move |_t, _aborted| {
+///     hits += 1;
+///     if hits > 3 { Op::Done } else { Op::Read(WordAddr(0)) }
+/// });
+/// ```
+pub struct FnProgram<F> {
+    f: F,
+    aborted: bool,
+}
+
+impl<F: FnMut(&mut ProgCtx, bool) -> Op> FnProgram<F> {
+    /// Wraps a closure as a program.
+    pub fn new(f: F) -> Self {
+        FnProgram { f, aborted: false }
+    }
+}
+
+impl<F: FnMut(&mut ProgCtx, bool) -> Op> ThreadProgram for FnProgram<F> {
+    fn next_op(&mut self, t: &mut ProgCtx) -> Op {
+        let aborted = std::mem::take(&mut self.aborted);
+        (self.f)(t, aborted)
+    }
+
+    fn on_tx_abort(&mut self, _t: &mut ProgCtx) {
+        self.aborted = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_program_signals_abort_once() {
+        let mut p = FnProgram::new(|_t, aborted| if aborted { Op::Done } else { Op::Work(1) });
+        let mut rng = Xoshiro256StarStar::new(0);
+        let mut ctx = ProgCtx {
+            thread_id: 0,
+            last_value: 0,
+            now: Cycle(0),
+            rng: &mut rng,
+        };
+        assert_eq!(p.next_op(&mut ctx), Op::Work(1));
+        p.on_tx_abort(&mut ctx);
+        assert_eq!(p.next_op(&mut ctx), Op::Done);
+        assert_eq!(p.next_op(&mut ctx), Op::Work(1), "flag consumed");
+    }
+}

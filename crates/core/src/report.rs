@@ -1,0 +1,93 @@
+//! Run results.
+
+use ltse_mem::MemStats;
+use ltse_sim::Cycle;
+use ltse_tm::{OsStats, TmStats};
+
+/// Everything a finished run reports — the raw material for the paper's
+/// Figure 4, Tables 2–3, and Result 4.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total simulated time.
+    pub cycles: Cycle,
+    /// Simulated time inside the measurement window (equal to `cycles`
+    /// unless a warm-up boundary was configured).
+    pub measured_cycles: Cycle,
+    /// Aggregated transactional statistics (commits, aborts, stalls,
+    /// false-positive classification, set sizes, work units).
+    pub tm: TmStats,
+    /// Memory-system statistics (hits/misses, NACKs, victimizations).
+    pub mem: MemStats,
+    /// OS statistics (context switches, summary installs, pages moved).
+    pub os: OsStats,
+    /// Threads that ran to completion.
+    pub threads_completed: usize,
+}
+
+impl RunReport {
+    /// Work units per thousand cycles over the measurement window — the
+    /// throughput measure behind the paper's Figure 4 speedups (units of
+    /// work per unit time).
+    pub fn throughput_per_kcycle(&self) -> f64 {
+        if self.measured_cycles == Cycle::ZERO {
+            return 0.0;
+        }
+        self.tm.work_units as f64 * 1000.0 / self.measured_cycles.as_u64() as f64
+    }
+
+    /// Transactional victimizations (L1 + L2, exact) — the paper's Result 4.
+    pub fn tx_victimizations(&self) -> u64 {
+        self.mem.tx_victimizations_exact()
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "cycles={} units={} commits={} aborts={} stalls={} fp%={} victim={}",
+            self.cycles.as_u64(),
+            self.tm.work_units,
+            self.tm.commits,
+            self.tm.aborts,
+            self.tm.stalls,
+            self.tm
+                .false_positive_pct()
+                .map(|p| format!("{p:.1}"))
+                .unwrap_or_else(|| "n/a".into()),
+            self.tx_victimizations(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_zero_cycles() {
+        let r = RunReport {
+            cycles: Cycle::ZERO,
+            measured_cycles: Cycle::ZERO,
+            tm: TmStats::new(),
+            mem: MemStats::new(),
+            os: OsStats::default(),
+            threads_completed: 0,
+        };
+        assert_eq!(r.throughput_per_kcycle(), 0.0);
+    }
+
+    #[test]
+    fn throughput_scales_with_units() {
+        let mut tm = TmStats::new();
+        tm.work_units = 50;
+        let r = RunReport {
+            cycles: Cycle(10_000),
+            measured_cycles: Cycle(10_000),
+            tm,
+            mem: MemStats::new(),
+            os: OsStats::default(),
+            threads_completed: 1,
+        };
+        assert!((r.throughput_per_kcycle() - 5.0).abs() < 1e-12);
+        assert!(r.summary_line().contains("units=50"));
+    }
+}

@@ -1,0 +1,1086 @@
+//! The composed, runnable system: cores + memory system + TM units + OS.
+
+use std::collections::{HashMap, VecDeque};
+
+use ltse_mem::{
+    AccessKind, AccessOutcome, Asid, BlockAddr, CtxId, MemorySystem, PageId, WordAddr,
+    WORDS_PER_BLOCK,
+};
+use ltse_sim::config::SimLimits;
+use ltse_sim::rng::Xoshiro256StarStar;
+use ltse_sim::trace::TraceBuffer;
+use ltse_sim::{Cycle, EventQueue};
+use ltse_tm::conflict::Resolution;
+use ltse_tm::{NestKind, OsModel, PreAccessCheck, ThreadTmState, TmUnit};
+
+use crate::builder::{PreemptionConfig, SystemBuilder};
+use crate::program::{Op, ProgCtx, ThreadProgram};
+use crate::report::RunReport;
+
+/// Retries against a summary signature before an in-transaction requester
+/// gives up and aborts itself (a descheduled conflicting transaction can
+/// only be resolved by the OS running it; aborting frees our isolation in
+/// the meantime).
+const SUMMARY_STALL_ABORT_LIMIT: u32 = 64;
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The cycle watchdog fired (likely livelock or an undersized budget).
+    CycleLimit {
+        /// Time at which the watchdog fired.
+        at: Cycle,
+        /// Threads not yet finished.
+        unfinished: usize,
+    },
+    /// The event watchdog fired.
+    EventLimit,
+    /// `run()` was called with no threads.
+    NoThreads,
+    /// More threads than hardware contexts, but preemption is disabled so
+    /// the surplus threads could never run.
+    TooManyThreads {
+        /// Threads requested.
+        threads: usize,
+        /// Hardware contexts available.
+        ctxs: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::CycleLimit { at, unfinished } => {
+                write!(f, "cycle watchdog fired at {at} with {unfinished} threads unfinished")
+            }
+            RunError::EventLimit => write!(f, "event watchdog fired"),
+            RunError::NoThreads => write!(f, "no threads to run"),
+            RunError::TooManyThreads { threads, ctxs } => write!(
+                f,
+                "{threads} threads exceed {ctxs} contexts and preemption is disabled"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Resume { thread: u32, seq: u64 },
+    PreemptTick,
+    RelocatePage { asid: Asid, vpage: u64 },
+}
+
+struct ThreadSlot {
+    program: Box<dyn ThreadProgram>,
+    asid: Asid,
+    rng: Xoshiro256StarStar,
+    ctx: Option<CtxId>,
+    last_value: u64,
+    pending_op: Option<Op>,
+    pending_abort: bool,
+    summary_stalls: u32,
+    /// Consecutive partial aborts without an inner commit — bounded so the
+    /// paper's "repeats this process" loop cannot livelock.
+    partial_streak: u32,
+    ready_while_parked: bool,
+    done: bool,
+    seq: u64,
+}
+
+/// A configured simulated machine with its threads. Create one with
+/// [`SystemBuilder`], add [`ThreadProgram`]s, then [`System::run`].
+pub struct System {
+    pub(crate) mem: MemorySystem,
+    pub(crate) tm: TmUnit,
+    pub(crate) os: OsModel,
+    limits: SimLimits,
+    preemption: Option<PreemptionConfig>,
+    threads: Vec<ThreadSlot>,
+    queue: EventQueue<Ev>,
+    run_queue: VecDeque<u32>,
+    /// Per-process virtual→physical page maps (identity unless relocated).
+    page_tables: HashMap<Asid, HashMap<u64, u64>>,
+    next_free_ppage: u64,
+    preempt_rr: usize,
+    rng: Xoshiro256StarStar,
+    finished: usize,
+    events_dispatched: u64,
+    trace: Option<TraceBuffer>,
+    /// Units of work left before the warm-up boundary (0 = measuring).
+    warmup_remaining: u64,
+    /// Cycle at which measurement began (warm-up boundary, or 0).
+    measure_from: Cycle,
+}
+
+impl System {
+    pub(crate) fn from_builder(b: &SystemBuilder) -> Self {
+        let mem = MemorySystem::new(b.mem);
+        let tm = TmUnit::empty_with_smt(b.tm, b.mem.n_ctxs(), b.mem.smt_per_core);
+        let os = OsModel::new(b.tm.signature);
+        System {
+            mem,
+            tm,
+            os,
+            limits: b.limits,
+            preemption: b.preemption,
+            threads: Vec::new(),
+            queue: EventQueue::new(),
+            run_queue: VecDeque::new(),
+            page_tables: HashMap::new(),
+            // Relocation targets live far above workload data but below the
+            // log region.
+            next_free_ppage: 1 << 32,
+            preempt_rr: 0,
+            rng: Xoshiro256StarStar::new(b.seed),
+            finished: 0,
+            events_dispatched: 0,
+            trace: (b.trace_capacity > 0).then(|| TraceBuffer::new(b.trace_capacity)),
+            warmup_remaining: b.warmup_units,
+            measure_from: Cycle::ZERO,
+        }
+    }
+
+    #[inline]
+    fn trace(&mut self, at: Cycle, tag: &'static str, detail: impl FnOnce() -> String) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(at, tag, detail());
+        }
+    }
+
+    /// Renders the retained event trace (empty unless
+    /// [`SystemBuilder::trace`] enabled tracing).
+    pub fn trace_dump(&self) -> String {
+        self.trace.as_ref().map(TraceBuffer::dump).unwrap_or_default()
+    }
+
+    /// Adds a thread (ASID 0) running `program`. Returns its thread id.
+    pub fn add_thread(&mut self, program: Box<dyn ThreadProgram>) -> u32 {
+        self.add_thread_in_process(program, Asid(0))
+    }
+
+    /// Adds a thread in the given address space.
+    pub fn add_thread_in_process(&mut self, program: Box<dyn ThreadProgram>, asid: Asid) -> u32 {
+        let tid = self.threads.len() as u32;
+        let state = ThreadTmState::new(
+            tid,
+            asid,
+            self.tm.config(),
+            TmUnit::log_base_for_thread(tid),
+            self.rng.next_u64(),
+        );
+        let ctx = if tid < self.tm.n_ctxs() {
+            self.tm.install_thread(tid, state);
+            Some(tid)
+        } else {
+            self.os.park_thread(state);
+            self.run_queue.push_back(tid);
+            None
+        };
+        self.threads.push(ThreadSlot {
+            program,
+            asid,
+            rng: self.rng.split(),
+            ctx,
+            last_value: 0,
+            pending_op: None,
+            pending_abort: false,
+            summary_stalls: 0,
+            partial_streak: 0,
+            ready_while_parked: false,
+            done: false,
+            seq: 0,
+        });
+        tid
+    }
+
+    /// Schedules a physical relocation of the page backing virtual page
+    /// `vpage` of `asid` at simulated time `at` (paper §4.2 paging).
+    pub fn schedule_page_relocation(&mut self, at: Cycle, asid: Asid, vpage: u64) {
+        self.queue.push(at, Ev::RelocatePage { asid, vpage });
+    }
+
+    /// Reads a word of (ASID-0) memory, honouring page relocations. For
+    /// assertions in tests and examples.
+    pub fn read_word(&self, addr: WordAddr) -> u64 {
+        self.mem.read_word(self.translate(Asid(0), addr))
+    }
+
+    /// Reads a word in a specific address space.
+    pub fn read_word_in(&self, asid: Asid, addr: WordAddr) -> u64 {
+        self.mem.read_word(self.translate(asid, addr))
+    }
+
+    /// Pre-loads a word of memory before the run (workload initialization,
+    /// no timing).
+    pub fn poke_word(&mut self, addr: WordAddr, value: u64) {
+        let phys = self.translate(Asid(0), addr);
+        self.mem.write_word(phys, value);
+    }
+
+    /// Runs until every thread is done. Returns the collected report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on watchdog expiry or an unrunnable
+    /// configuration (no threads; more threads than contexts without
+    /// preemption).
+    pub fn run(&mut self) -> Result<RunReport, RunError> {
+        if self.threads.is_empty() {
+            return Err(RunError::NoThreads);
+        }
+        if self.threads.len() > self.tm.n_ctxs() as usize && self.preemption.is_none() {
+            return Err(RunError::TooManyThreads {
+                threads: self.threads.len(),
+                ctxs: self.tm.n_ctxs() as usize,
+            });
+        }
+
+        // Seed each installed thread's first resume with a small random
+        // perturbation (the paper's §6.1 methodology).
+        for tid in 0..self.threads.len() as u32 {
+            if self.threads[tid as usize].ctx.is_some() {
+                let jitter = Cycle(self.threads[tid as usize].rng.gen_range(0, 32));
+                self.schedule_resume(tid, jitter);
+            }
+        }
+        if let Some(p) = self.preemption {
+            self.queue.push(p.quantum, Ev::PreemptTick);
+        }
+
+        while let Some((now, ev)) = self.queue.pop() {
+            self.events_dispatched += 1;
+            if now > self.limits.max_cycles {
+                return Err(RunError::CycleLimit {
+                    at: now,
+                    unfinished: self.threads.len() - self.finished,
+                });
+            }
+            if self.events_dispatched > self.limits.max_events {
+                return Err(RunError::EventLimit);
+            }
+            match ev {
+                Ev::Resume { thread, seq } => self.on_resume(now, thread, seq),
+                Ev::PreemptTick => self.on_preempt_tick(now),
+                Ev::RelocatePage { asid, vpage } => self.do_relocate_page(now, asid, vpage),
+            }
+            if self.finished == self.threads.len() {
+                break;
+            }
+        }
+
+        Ok(self.report())
+    }
+
+    /// Builds the report from the current state (also valid after `run`).
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            cycles: self.queue.now(),
+            measured_cycles: self.queue.now().saturating_sub(self.measure_from),
+            tm: self.tm.aggregate_stats(),
+            mem: self.mem.stats().clone(),
+            os: self.os.stats.clone(),
+            threads_completed: self.finished,
+        }
+    }
+
+    /// The memory system (for inspection in tests/benches).
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// The TM unit (for inspection in tests/benches).
+    pub fn tm(&self) -> &TmUnit {
+        &self.tm
+    }
+
+    // ------------------------------------------------------------------
+    fn translate(&self, asid: Asid, addr: WordAddr) -> WordAddr {
+        const WORDS_PER_PAGE: u64 = 512; // 4 KB pages of 8-byte words
+        if TmUnit::is_log_block(addr.block()) {
+            return addr; // log regions are identity-mapped
+        }
+        let Some(table) = self.page_tables.get(&asid) else {
+            return addr;
+        };
+        let vpage = addr.as_u64() / WORDS_PER_PAGE;
+        match table.get(&vpage) {
+            Some(&ppage) => WordAddr(ppage * WORDS_PER_PAGE + addr.as_u64() % WORDS_PER_PAGE),
+            None => addr,
+        }
+    }
+
+    fn schedule_resume(&mut self, tid: u32, delay: Cycle) {
+        let slot = &mut self.threads[tid as usize];
+        slot.seq += 1;
+        let seq = slot.seq;
+        self.queue.push_after(delay, Ev::Resume { thread: tid, seq });
+    }
+
+    fn on_resume(&mut self, now: Cycle, tid: u32, seq: u64) {
+        let slot = &self.threads[tid as usize];
+        if slot.done || seq != slot.seq {
+            return; // stale event
+        }
+        if slot.ctx.is_none() {
+            self.threads[tid as usize].ready_while_parked = true;
+            return;
+        }
+        if slot.pending_abort {
+            self.threads[tid as usize].pending_abort = false;
+            self.do_abort(now, tid);
+            return;
+        }
+
+        let op = match self.threads[tid as usize].pending_op.take() {
+            Some(op) => op,
+            None => self.next_op(now, tid),
+        };
+        self.exec_op(now, tid, op);
+    }
+
+    fn next_op(&mut self, now: Cycle, tid: u32) -> Op {
+        let slot = &mut self.threads[tid as usize];
+        let mut ctx = ProgCtx {
+            thread_id: tid,
+            last_value: slot.last_value,
+            now,
+            rng: &mut slot.rng,
+        };
+        slot.program.next_op(&mut ctx)
+    }
+
+    fn exec_op(&mut self, now: Cycle, tid: u32, op: Op) {
+        let ctx = self.threads[tid as usize].ctx.expect("running thread has a ctx");
+        match op {
+            Op::Done => {
+                self.threads[tid as usize].done = true;
+                self.finished += 1;
+                // Free the context for parked threads.
+                if let Some(state) = self.tm.take_thread(ctx) {
+                    self.tm.retire_thread(state);
+                }
+                self.threads[tid as usize].ctx = None;
+                if let Some(next) = self.pop_runnable() {
+                    self.wake_onto_ctx(now, next, ctx);
+                }
+            }
+            Op::Work(cycles) => {
+                self.schedule_resume(tid, Cycle(cycles.max(1)));
+            }
+            Op::WorkUnitDone => {
+                if let Some(t) = self.tm.thread_mut(ctx) {
+                    t.stats.work_units += 1;
+                }
+                if self.warmup_remaining > 0 {
+                    self.warmup_remaining -= 1;
+                    if self.warmup_remaining == 0 {
+                        // Warm-up boundary: discard everything measured so
+                        // far; caches, signatures, and logs stay warm.
+                        self.tm.reset_stats();
+                        self.mem.reset_stats();
+                        self.measure_from = now;
+                        self.trace(now, "MEASURE", || "warm-up complete".into());
+                    }
+                }
+                self.schedule_resume(tid, Cycle(1));
+            }
+            Op::TxBegin | Op::TxBeginOpen => {
+                let kind = if matches!(op, Op::TxBeginOpen) {
+                    NestKind::Open
+                } else {
+                    NestKind::Closed
+                };
+                let was_nested = self.tm.in_tx(ctx);
+                self.trace(now, "BEGIN", || {
+                    format!("tid={tid} ctx={ctx} kind={kind:?} nested={was_nested}")
+                });
+                let header_addr = self.tm.begin_tx(ctx, kind, now);
+                // The header write is a real store into the (private) log.
+                let out = self.mem.access(ctx, AccessKind::Store, header_addr.block(), &self.tm);
+                let cfg = self.tm.config();
+                let mut cost = cfg.begin_cycles + out.latency();
+                if was_nested {
+                    cost += cfg.sig_save_cycles; // signature save to header
+                }
+                self.schedule_resume(tid, cost);
+            }
+            Op::TxCommit => {
+                let outcome = self.tm.commit_tx(ctx, now);
+                self.trace(now, "COMMIT", || {
+                    format!("tid={tid} ctx={ctx} outermost={}", outcome.outermost)
+                });
+                self.threads[tid as usize].partial_streak = 0; // progress
+                let mut cost = outcome.cycles;
+                if outcome.needs_summary_update {
+                    let asid = self.threads[tid as usize].asid;
+                    cost += self.os.on_outer_commit(&mut self.tm, asid, tid);
+                }
+                self.schedule_resume(tid, cost);
+            }
+            Op::EscapeBegin => {
+                self.tm.escape_begin(ctx);
+                self.schedule_resume(tid, Cycle(1));
+            }
+            Op::EscapeEnd => {
+                self.tm.escape_end(ctx);
+                self.schedule_resume(tid, Cycle(1));
+            }
+            Op::Read(addr) => self.exec_mem_op(now, tid, op, AccessKind::Load, addr),
+            Op::Write(addr, _) | Op::Cas { addr, .. } | Op::FetchAdd(addr, _) => {
+                self.exec_mem_op(now, tid, op, AccessKind::Store, addr)
+            }
+        }
+    }
+
+    fn exec_mem_op(&mut self, now: Cycle, tid: u32, op: Op, kind: AccessKind, vaddr: WordAddr) {
+        let ctx = self.threads[tid as usize].ctx.expect("running thread has a ctx");
+        let asid = self.threads[tid as usize].asid;
+        let paddr = self.translate(asid, vaddr);
+        let block = paddr.block();
+        let cfg = *self.tm.config();
+
+        // TM-layer checks: summary signature, then same-core siblings.
+        match self.tm.pre_access(ctx, kind, block) {
+            PreAccessCheck::SummaryConflict => {
+                // The paper's §4.1: a summary hit "immediately traps to a
+                // conflict handler, since stalling is not sufficient to
+                // resolve a conflict with a descheduled thread". The
+                // handler aborts the parked conflictor in software.
+                let sig_op = match kind {
+                    AccessKind::Load => ltse_sig::SigOp::Read,
+                    AccessKind::Store => ltse_sig::SigOp::Write,
+                };
+                if let Some(victim) = self.os.parked_tx_conflictor(asid, sig_op, block.as_u64()) {
+                    let cost = self.abort_parked_thread(now, ctx, asid, victim);
+                    if let Some(t) = self.tm.thread_mut(ctx) {
+                        t.stats.stalls += 1;
+                    }
+                    let slot = &mut self.threads[tid as usize];
+                    slot.summary_stalls = 0;
+                    slot.pending_op = Some(op);
+                    self.schedule_resume(tid, cost + cfg.stall_retry_cycles);
+                    return;
+                }
+                // No parked conflictor: either the summary hit was a false
+                // positive, or the conflicting thread has been rescheduled
+                // (its contribution persists until commit). Stall; if that
+                // drags on while we hold isolation, abort ourselves.
+                let slot = &mut self.threads[tid as usize];
+                slot.summary_stalls += 1;
+                if self.tm.in_tx(ctx) && slot.summary_stalls > SUMMARY_STALL_ABORT_LIMIT {
+                    slot.summary_stalls = 0;
+                    self.do_abort(now, tid);
+                } else {
+                    slot.pending_op = Some(op);
+                    if let Some(t) = self.tm.thread_mut(ctx) {
+                        t.stats.stalls += 1;
+                    }
+                    self.schedule_resume(tid, cfg.stall_retry_cycles);
+                }
+                return;
+            }
+            PreAccessCheck::SiblingConflict { nacker } => {
+                if let Some(t) = self.tm.thread_mut(ctx) {
+                    t.stats.sibling_stalls += 1;
+                }
+                match self.tm.on_nack(ctx, Some(nacker)) {
+                    Resolution::Stall => {
+                        self.threads[tid as usize].pending_op = Some(op);
+                        self.schedule_resume(tid, cfg.stall_retry_cycles);
+                    }
+                    Resolution::Abort => self.do_abort(now, tid),
+                }
+                return;
+            }
+            PreAccessCheck::Clear => {}
+        }
+
+        let outcome = self.mem.access(ctx, kind, block, &self.tm);
+        self.drain_overflow_events();
+
+        match outcome {
+            AccessOutcome::Nacked { latency, nacker } => {
+                let resolution = self.tm.on_nack(ctx, Some(nacker));
+                self.trace(now, "NACK", || {
+                    format!("tid={tid} {kind} {block} by ctx{nacker} -> {resolution:?}")
+                });
+                match resolution {
+                    Resolution::Stall => {
+                        self.threads[tid as usize].pending_op = Some(op);
+                        self.schedule_resume(tid, latency + cfg.stall_retry_cycles);
+                    }
+                    Resolution::Abort => self.do_abort(now, tid),
+                }
+            }
+            AccessOutcome::Done(done) => {
+                self.tm.record_access(ctx, kind, block);
+                let mut total = done.latency;
+
+                // Eager version management: log the old value before the
+                // first transactional overwrite of the block. The log
+                // filter and undo records hold *virtual* addresses (paper
+                // §2/§4.2 — "its virtual address and previous contents must
+                // be written to the log"), so aborts restore the data
+                // wherever the page lives by then.
+                if kind == AccessKind::Store {
+                    let mem = &self.mem;
+                    let vblock = vaddr.block();
+                    if let Some(log_write) = self.tm.log_store_if_needed(ctx, vblock, || {
+                        read_block_words(mem, block)
+                    }) {
+                        // The log region is thread-private, but a hashed
+                        // signature on another core can still alias its
+                        // physical address and falsely NACK the log store;
+                        // model that as one bounced round trip (the store
+                        // retries and succeeds — no true conflict exists).
+                        let log_out =
+                            self.mem
+                                .access(ctx, AccessKind::Store, log_write.addr.block(), &self.tm);
+                        total += log_out.latency();
+                        if !log_out.is_done() {
+                            let retry =
+                                self.mem
+                                    .access(ctx, AccessKind::Store, log_write.addr.block(), &self.tm);
+                            total += cfg.stall_retry_cycles + retry.latency();
+                        }
+                    }
+                }
+
+                // Apply the op's data semantics.
+                let value = match op {
+                    Op::Read(_) => self.mem.read_word(paddr),
+                    Op::Write(_, v) => {
+                        self.mem.write_word(paddr, v);
+                        0
+                    }
+                    Op::Cas { expected, new, .. } => {
+                        let old = self.mem.read_word(paddr);
+                        if old == expected {
+                            self.mem.write_word(paddr, new);
+                        }
+                        old
+                    }
+                    Op::FetchAdd(_, delta) => {
+                        let (old, _) = self.mem.update_word(paddr, |v| v.wrapping_add(delta));
+                        old
+                    }
+                    _ => unreachable!("non-memory op in exec_mem_op"),
+                };
+                let slot = &mut self.threads[tid as usize];
+                slot.last_value = value;
+                slot.summary_stalls = 0;
+                // Tiny per-op perturbation keeps multi-seed runs
+                // statistically independent (§6.1).
+                let jitter = Cycle(slot.rng.gen_range(0, 2));
+                self.schedule_resume(tid, total + jitter);
+            }
+        }
+    }
+
+    /// Aborts `tid`'s transaction: unrolls the log (restoring memory and
+    /// charging the restore traffic), rewinds the program, and schedules
+    /// the retry after handler cost + randomized backoff.
+    ///
+    /// For a nested transaction the handler first tries a **partial abort**
+    /// (paper §3.2): unroll only the innermost frame, restore the parent's
+    /// signature, and retry the inner transaction — if the program supports
+    /// resuming there and the streak of fruitless partial aborts is short.
+    fn do_abort(&mut self, now: Cycle, tid: u32) {
+        let ctx = self.threads[tid as usize].ctx.expect("abort of a running thread");
+        let asid = self.threads[tid as usize].asid;
+        let depth = self.tm.thread(ctx).map(|t| t.depth()).unwrap_or(0);
+        if depth > 1 && self.threads[tid as usize].partial_streak < 3 {
+            let mut undo: Vec<(WordAddr, [u64; 8])> = Vec::new();
+            let handler = self.tm.abort_innermost(ctx, &mut |base, old| {
+                undo.push((base, *old));
+            });
+            let mut traffic = Cycle::ZERO;
+            for (vbase, old) in undo {
+                let pbase = self.translate(asid, vbase);
+                let out = self.mem.access(ctx, AccessKind::Store, pbase.block(), &self.tm);
+                traffic += out.latency();
+                for (i, w) in old.iter().enumerate() {
+                    self.mem.write_word(pbase.offset(i as u64), *w);
+                }
+            }
+            self.drain_overflow_events();
+            let slot = &mut self.threads[tid as usize];
+            let mut prog_ctx = ProgCtx {
+                thread_id: tid,
+                last_value: slot.last_value,
+                now,
+                rng: &mut slot.rng,
+            };
+            if slot.program.on_partial_abort(&mut prog_ctx, depth - 1) {
+                slot.partial_streak += 1;
+                slot.pending_op = None;
+                let backoff = Cycle(slot.rng.gen_range(0, 64));
+                self.schedule_resume(tid, handler + traffic + backoff);
+                return;
+            }
+            // Program can't resume mid-nest: fall through to a full abort
+            // of the remaining frames (the inner one is already unrolled).
+        }
+        self.threads[tid as usize].partial_streak = 0;
+        let mut undo: Vec<(WordAddr, [u64; 8])> = Vec::new();
+        let costs = self.tm.abort_tx(ctx, now, &mut |base, old| {
+            undo.push((base, *old));
+        });
+        self.trace(now, "ABORT", || {
+            format!("tid={tid} restored={} backoff={}", undo.len(), costs.backoff)
+        });
+        // Apply the restores and charge their memory traffic. The whole
+        // abort happens within this event, so isolation is not observable
+        // by other threads mid-restore (the paper's handler holds isolation
+        // until the walk completes).
+        if std::env::var("LTSE_TRACE").is_ok() {
+            eprintln!("[{}] tid={} ABORT restoring {:?}", now.as_u64(), tid, undo.iter().map(|(b,o)|(b.0,o[0])).collect::<Vec<_>>());
+        }
+        let asid = self.threads[tid as usize].asid;
+        let mut traffic = Cycle::ZERO;
+        for (vbase, old) in undo {
+            // Undo records hold virtual addresses; translate at restore
+            // time so a relocated page is restored at its new home (§4.2).
+            let pbase = self.translate(asid, vbase);
+            let out = self.mem.access(ctx, AccessKind::Store, pbase.block(), &self.tm);
+            traffic += out.latency();
+            for (i, w) in old.iter().enumerate() {
+                self.mem.write_word(pbase.offset(i as u64), *w);
+            }
+        }
+        self.drain_overflow_events();
+        let mut os_cost = Cycle::ZERO;
+        if costs.needs_summary_update {
+            let asid = self.threads[tid as usize].asid;
+            os_cost = self.os.on_outer_abort(&mut self.tm, asid, tid);
+        }
+        let slot = &mut self.threads[tid as usize];
+        slot.pending_op = None;
+        let mut prog_ctx = ProgCtx {
+            thread_id: tid,
+            last_value: slot.last_value,
+            now,
+            rng: &mut slot.rng,
+        };
+        slot.program.on_tx_abort(&mut prog_ctx);
+        self.schedule_resume(tid, costs.handler_cycles + traffic + costs.backoff + os_cost);
+    }
+
+    /// Software abort of a *parked* thread's transaction (the summary-
+    /// signature trap handler's escape valve, paper §4.1). The handler runs
+    /// on the trapping thread's core, so the restore traffic is charged to
+    /// `handler_ctx`.
+    fn abort_parked_thread(
+        &mut self,
+        now: Cycle,
+        handler_ctx: CtxId,
+        asid: Asid,
+        victim: u32,
+    ) -> Cycle {
+        let mut undo: Vec<(WordAddr, [u64; 8])> = Vec::new();
+        let mut cost = self
+            .os
+            .abort_parked(&mut self.tm, asid, victim, now, &mut |base, old| {
+                undo.push((base, *old));
+            });
+        for (vbase, old) in undo {
+            let pbase = self.translate(asid, vbase);
+            let out = self
+                .mem
+                .access(handler_ctx, AccessKind::Store, pbase.block(), &self.tm);
+            cost += out.latency();
+            for (i, w) in old.iter().enumerate() {
+                self.mem.write_word(pbase.offset(i as u64), *w);
+            }
+        }
+        self.drain_overflow_events();
+        // Rewind the victim's program so it re-issues TxBegin when it is
+        // next scheduled.
+        let slot = &mut self.threads[victim as usize];
+        slot.pending_op = None;
+        slot.pending_abort = false;
+        let mut prog_ctx = ProgCtx {
+            thread_id: victim,
+            last_value: slot.last_value,
+            now,
+            rng: &mut slot.rng,
+        };
+        slot.program.on_tx_abort(&mut prog_ctx);
+        cost
+    }
+
+    /// With sticky states disabled (ablation A2), evictions of
+    /// transactional blocks silently lose conflict coverage; the affected
+    /// transactions must conservatively abort, like cache-resident HTMs on
+    /// overflow.
+    fn drain_overflow_events(&mut self) {
+        for ev in self.mem.take_overflow_events() {
+            for ctx in 0..self.tm.n_ctxs() {
+                if self.tm.core_of(ctx) != ev.core {
+                    continue;
+                }
+                let Some(t) = self.tm.thread(ctx) else { continue };
+                if t.covers_hw(ev.block) {
+                    let tid = t.thread_id;
+                    if !self.threads[tid as usize].done {
+                        self.threads[tid as usize].pending_abort = true;
+                        // Force a prompt wake-up to process the abort.
+                        self.schedule_resume(tid, Cycle(1));
+                    }
+                }
+            }
+        }
+    }
+
+    fn pop_runnable(&mut self) -> Option<u32> {
+        while let Some(tid) = self.run_queue.pop_front() {
+            if !self.threads[tid as usize].done {
+                return Some(tid);
+            }
+        }
+        None
+    }
+
+    fn wake_onto_ctx(&mut self, _now: Cycle, tid: u32, ctx: CtxId) {
+        let asid = self.threads[tid as usize].asid;
+        let cost = self.os.reschedule(&mut self.tm, asid, tid, ctx);
+        let slot = &mut self.threads[tid as usize];
+        slot.ctx = Some(ctx);
+        // Whether a resume landed while parked or the thread never started,
+        // it needs a kick; the reschedule cost delays it either way.
+        slot.ready_while_parked = false;
+        self.schedule_resume(tid, cost);
+    }
+
+    fn on_preempt_tick(&mut self, now: Cycle) {
+        let Some(p) = self.preemption else { return };
+        if self.finished < self.threads.len() {
+            self.queue.push_after(p.quantum, Ev::PreemptTick);
+        }
+
+        // Only preempt when someone is waiting for a context.
+        if self.run_queue.iter().all(|&t| self.threads[t as usize].done) {
+            return;
+        }
+        let n_ctxs = self.tm.n_ctxs() as usize;
+        for probe in 0..n_ctxs {
+            let ctx = ((self.preempt_rr + probe) % n_ctxs) as CtxId;
+            let Some(t) = self.tm.thread(ctx) else { continue };
+            if p.defer_in_tx && t.in_tx() {
+                continue; // preemption-deferral (paper §4.1, [29])
+            }
+            let victim_tid = t.thread_id;
+            if self.threads[victim_tid as usize].done {
+                continue;
+            }
+            self.preempt_rr = (ctx as usize + 1) % n_ctxs;
+            // Deschedule the victim...
+            self.trace(now, "PREEMPT", || format!("tid={victim_tid} off ctx{ctx}"));
+            let _cost = self.os.deschedule(&mut self.tm, ctx);
+            self.threads[victim_tid as usize].ctx = None;
+            self.run_queue.push_back(victim_tid);
+            // ...and give the context to the next waiter.
+            if let Some(next) = self.pop_runnable() {
+                self.wake_onto_ctx(now, next, ctx);
+            }
+            return;
+        }
+    }
+
+    fn do_relocate_page(&mut self, now: Cycle, asid: Asid, vpage: u64) {
+        self.trace(now, "PAGEMOVE", || format!("{asid} vpage={vpage}"));
+        const WORDS_PER_PAGE: u64 = 512;
+        let table = self.page_tables.entry(asid).or_default();
+        let old_ppage = table.get(&vpage).copied().unwrap_or(vpage);
+        let new_ppage = self.next_free_ppage;
+        self.next_free_ppage += 1;
+        table.insert(vpage, new_ppage);
+        // Copy the data to its new physical home.
+        for w in 0..WORDS_PER_PAGE {
+            let v = self.mem.read_word(WordAddr(old_ppage * WORDS_PER_PAGE + w));
+            self.mem.write_word(WordAddr(new_ppage * WORDS_PER_PAGE + w), v);
+        }
+        // Physical pages and signature pages are both 4 KB = 64 blocks.
+        let old_first_block = old_ppage * WORDS_PER_PAGE / WORDS_PER_BLOCK;
+        let new_first_block = new_ppage * WORDS_PER_PAGE / WORDS_PER_BLOCK;
+        self.os.relocate_page(
+            &mut self.tm,
+            asid,
+            PageId(old_first_block / ltse_mem::BLOCKS_PER_PAGE),
+            PageId(new_first_block / ltse_mem::BLOCKS_PER_PAGE),
+        );
+        // OS cache shoot-down of the old frame, and conservative directory
+        // invalidation of the new one: rehashed signatures may cover the
+        // new physical blocks, so their first access must broadcast
+        // signature checks instead of being granted silent exclusivity.
+        for i in 0..ltse_mem::BLOCKS_PER_PAGE {
+            let old_block = BlockAddr(old_first_block + i);
+            self.mem.invalidate_block_everywhere(old_block);
+            let new_block = BlockAddr(new_first_block + i);
+            let covered = (0..self.mem.config().n_cores).any(|c| {
+                use ltse_mem::ConflictOracle;
+                self.tm.block_is_transactional_hw(c, new_block)
+            });
+            if covered {
+                self.mem.mark_block_lost(new_block);
+            }
+        }
+    }
+}
+
+fn read_block_words(mem: &MemorySystem, block: BlockAddr) -> [u64; 8] {
+    let base = block.first_word();
+    std::array::from_fn(|i| mem.read_word(base.offset(i as u64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SystemBuilder;
+    use crate::program::FnProgram;
+    use ltse_sig::SignatureKind;
+
+    /// A counter-increment program: `iters` transactions of
+    /// read-modify-write on `addr`, marking a work unit per commit.
+    struct Counter {
+        addr: WordAddr,
+        iters: u32,
+        step: u8,
+    }
+
+    impl Counter {
+        fn new(addr: WordAddr, iters: u32) -> Self {
+            Counter {
+                addr,
+                iters,
+                step: 0,
+            }
+        }
+    }
+
+    impl ThreadProgram for Counter {
+        fn next_op(&mut self, t: &mut ProgCtx) -> Op {
+            match self.step {
+                0 => {
+                    if self.iters == 0 {
+                        return Op::Done;
+                    }
+                    self.step = 1;
+                    Op::TxBegin
+                }
+                1 => {
+                    self.step = 2;
+                    Op::Read(self.addr)
+                }
+                2 => {
+                    self.step = 3;
+                    Op::Write(self.addr, t.last_value + 1)
+                }
+                3 => {
+                    self.step = 4;
+                    Op::TxCommit
+                }
+                _ => {
+                    self.step = 0;
+                    self.iters -= 1;
+                    Op::WorkUnitDone
+                }
+            }
+        }
+
+        fn on_tx_abort(&mut self, _t: &mut ProgCtx) {
+            self.step = 0;
+        }
+    }
+
+    fn small(kind: SignatureKind, seed: u64) -> System {
+        SystemBuilder::small_for_tests().signature(kind).seed(seed).build()
+    }
+
+    #[test]
+    fn single_thread_counts_correctly() {
+        let mut s = small(SignatureKind::Perfect, 1);
+        s.add_thread(Box::new(Counter::new(WordAddr(0), 50)));
+        let r = s.run().unwrap();
+        assert_eq!(s.read_word(WordAddr(0)), 50);
+        assert_eq!(r.tm.commits, 50);
+        assert_eq!(r.tm.aborts, 0, "no contention, no aborts");
+        assert_eq!(r.tm.work_units, 50);
+        assert!(r.cycles > Cycle::ZERO);
+    }
+
+    #[test]
+    fn contended_counter_is_atomic() {
+        for kind in [
+            SignatureKind::Perfect,
+            SignatureKind::paper_bs_64(),
+            SignatureKind::paper_dbs_2kb(),
+        ] {
+            let mut s = small(kind, 7);
+            for _ in 0..4 {
+                s.add_thread(Box::new(Counter::new(WordAddr(0), 25)));
+            }
+            let r = s.run().unwrap();
+            assert_eq!(s.read_word(WordAddr(0)), 100, "{kind}: atomicity");
+            assert_eq!(r.tm.commits, 100, "{kind}");
+            assert!(r.tm.stalls > 0, "{kind}: contention must cause stalls");
+        }
+    }
+
+    #[test]
+    fn aborted_transactions_leave_no_trace() {
+        // Heavy same-word contention: every abort must restore the old
+        // value, so the final count equals the committed increments exactly.
+        let mut s = small(SignatureKind::Perfect, 3);
+        for _ in 0..4 {
+            s.add_thread(Box::new(Counter::new(WordAddr(0), 10)));
+        }
+        let r = s.run().unwrap();
+        assert_eq!(s.read_word(WordAddr(0)), 40);
+        assert_eq!(r.tm.commits, 40);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut s = small(SignatureKind::paper_bs_2kb(), seed);
+            for _ in 0..4 {
+                s.add_thread(Box::new(Counter::new(WordAddr(0), 20)));
+            }
+            let r = s.run().unwrap();
+            (r.cycles, r.tm.commits, r.tm.aborts, r.tm.stalls)
+        };
+        assert_eq!(run(42), run(42));
+        // Different seeds perturb the interleaving (almost surely different
+        // cycle counts).
+        assert_ne!(run(1).0, run(2).0);
+    }
+
+    #[test]
+    fn no_threads_is_an_error() {
+        let mut s = small(SignatureKind::Perfect, 1);
+        assert!(matches!(s.run(), Err(RunError::NoThreads)));
+    }
+
+    #[test]
+    fn too_many_threads_without_preemption_is_an_error() {
+        let mut s = small(SignatureKind::Perfect, 1);
+        for _ in 0..9 {
+            // small_for_tests has 8 contexts
+            s.add_thread(Box::new(Counter::new(WordAddr(0), 1)));
+        }
+        assert!(matches!(s.run(), Err(RunError::TooManyThreads { .. })));
+    }
+
+    #[test]
+    fn work_op_advances_time_only() {
+        let mut s = small(SignatureKind::Perfect, 1);
+        let mut emitted = 0;
+        s.add_thread(Box::new(FnProgram::new(move |_t, _| {
+            emitted += 1;
+            match emitted {
+                1 => Op::Work(1000),
+                _ => Op::Done,
+            }
+        })));
+        let r = s.run().unwrap();
+        assert!(r.cycles >= Cycle(1000));
+        assert_eq!(r.mem.l1_hits.get() + r.mem.l1_misses.get(), 0);
+    }
+
+    #[test]
+    fn escape_actions_do_not_isolate() {
+        // Thread 0 writes block X inside an escape action within its tx;
+        // thread 1 must be able to write it concurrently (no NACK), so the
+        // run completes without thread 0 committing first.
+        let mut s = small(SignatureKind::Perfect, 5);
+        let mut step0 = 0;
+        s.add_thread(Box::new(FnProgram::new(move |_t, aborted| {
+            if aborted {
+                step0 = 0;
+            }
+            step0 += 1;
+            match step0 {
+                1 => Op::TxBegin,
+                2 => Op::EscapeBegin,
+                3 => Op::Write(WordAddr(512), 1),
+                4 => Op::EscapeEnd,
+                5 => Op::Work(5000), // hold the tx open a long time
+                6 => Op::TxCommit,
+                _ => Op::Done,
+            }
+        })));
+        let mut step1 = 0;
+        s.add_thread(Box::new(FnProgram::new(move |_t, _| {
+            step1 += 1;
+            match step1 {
+                1 => Op::Work(200), // let thread 0 get going
+                2 => Op::Write(WordAddr(512), 2),
+                _ => Op::Done,
+            }
+        })));
+        let r = s.run().unwrap();
+        assert_eq!(r.tm.escapes, 1);
+        assert_eq!(r.tm.aborts, 0, "escape writes are not isolated");
+    }
+
+    #[test]
+    fn preemption_round_robins_threads_over_contexts() {
+        let mut s = SystemBuilder::small_for_tests()
+            .seed(9)
+            .preemption(Cycle(2_000), true)
+            .build();
+        // 12 threads over 8 contexts.
+        for _ in 0..12 {
+            s.add_thread(Box::new(Counter::new(WordAddr(0), 10)));
+        }
+        let r = s.run().unwrap();
+        assert_eq!(s.read_word(WordAddr(0)), 120);
+        assert_eq!(r.tm.commits, 120);
+        assert!(r.os.deschedules > 0, "preemption happened");
+        assert_eq!(r.threads_completed, 12);
+    }
+
+    #[test]
+    fn preemption_mid_transaction_maintains_isolation() {
+        // No deferral: threads get descheduled inside transactions, so
+        // summary signatures must carry their isolation.
+        let mut s = SystemBuilder::small_for_tests()
+            .seed(11)
+            .preemption(Cycle(300), false)
+            .build();
+        for _ in 0..10 {
+            s.add_thread(Box::new(Counter::new(WordAddr(0), 8)));
+        }
+        let r = s.run().unwrap();
+        assert_eq!(s.read_word(WordAddr(0)), 80, "atomicity across switches");
+        assert_eq!(r.tm.commits, 80);
+        assert!(r.os.tx_deschedules > 0, "some switch hit a transaction");
+    }
+
+    #[test]
+    fn page_relocation_mid_run_preserves_isolation_and_data() {
+        let mut s = small(SignatureKind::paper_bs_2kb(), 13);
+        for _ in 0..4 {
+            s.add_thread(Box::new(Counter::new(WordAddr(3), 30)));
+        }
+        // Relocate the page containing word 3 (vpage 0) mid-run, twice.
+        s.schedule_page_relocation(Cycle(400), Asid(0), 0);
+        s.schedule_page_relocation(Cycle(1_200), Asid(0), 0);
+        let r = s.run().unwrap();
+        assert_eq!(s.read_word(WordAddr(3)), 120, "data + atomicity survive");
+        assert_eq!(r.tm.commits, 120);
+        assert_eq!(r.os.pages_relocated, 2);
+        assert!(r.cycles > Cycle(1_200), "run spanned both relocations");
+    }
+
+    #[test]
+    fn report_before_run_is_empty() {
+        let s = small(SignatureKind::Perfect, 1);
+        let r = s.report();
+        assert_eq!(r.tm.commits, 0);
+        assert_eq!(r.cycles, Cycle::ZERO);
+    }
+}

@@ -1,0 +1,295 @@
+//! A generic set-associative cache array with LRU replacement.
+
+use crate::addr::BlockAddr;
+
+/// Geometry of a cache array.
+///
+/// ```
+/// use ltse_mem::CacheConfig;
+///
+/// // The paper's 32 KB 4-way L1 with 64-byte blocks:
+/// let l1 = CacheConfig::new(128, 4);
+/// assert_eq!(l1.capacity_blocks(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either dimension is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        CacheConfig { sets, ways }
+    }
+
+    /// Total blocks the array can hold.
+    pub fn capacity_blocks(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line<V> {
+    block: BlockAddr,
+    value: V,
+    lru: u64,
+}
+
+/// A set-associative array mapping block addresses to per-line state, with
+/// true-LRU replacement. Used for the L1 tag/state arrays, the L2 banks, and
+/// the TM crate's log filter (which the paper notes is "much like a TLB").
+///
+/// ```
+/// use ltse_mem::{BlockAddr, CacheConfig, SetAssocCache};
+///
+/// let mut c: SetAssocCache<char> = SetAssocCache::new(CacheConfig::new(2, 2));
+/// assert_eq!(c.insert(BlockAddr(0), 'a'), None);
+/// assert_eq!(c.insert(BlockAddr(2), 'b'), None); // same set as 0 (2 sets)
+/// assert_eq!(c.get(&BlockAddr(0)), Some(&'a'));  // touch 0 → 2 becomes LRU
+/// let evicted = c.insert(BlockAddr(4), 'c');     // set 0 full → evict 2
+/// assert_eq!(evicted, Some((BlockAddr(2), 'b')));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<V> {
+    config: CacheConfig,
+    sets: Vec<Vec<Line<V>>>,
+    tick: u64,
+    set_mask: u64,
+}
+
+impl<V> SetAssocCache<V> {
+    /// Creates an empty array with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        SetAssocCache {
+            config,
+            sets: (0..config.sets).map(|_| Vec::new()).collect(),
+            tick: 0,
+            set_mask: config.sets as u64 - 1,
+        }
+    }
+
+    /// The array's geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    #[inline]
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.0 & self.set_mask) as usize
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up a block without touching LRU state.
+    pub fn peek(&self, block: &BlockAddr) -> Option<&V> {
+        let set = &self.sets[self.set_index(*block)];
+        set.iter().find(|l| l.block == *block).map(|l| &l.value)
+    }
+
+    /// Looks up a block, promoting it to most-recently-used.
+    pub fn get(&mut self, block: &BlockAddr) -> Option<&V> {
+        let tick = self.bump();
+        let idx = self.set_index(*block);
+        let set = &mut self.sets[idx];
+        let line = set.iter_mut().find(|l| l.block == *block)?;
+        line.lru = tick;
+        Some(&line.value)
+    }
+
+    /// Mutable lookup, promoting to most-recently-used.
+    pub fn get_mut(&mut self, block: &BlockAddr) -> Option<&mut V> {
+        let tick = self.bump();
+        let idx = self.set_index(*block);
+        let set = &mut self.sets[idx];
+        let line = set.iter_mut().find(|l| l.block == *block)?;
+        line.lru = tick;
+        Some(&mut line.value)
+    }
+
+    /// Whether the block is present (no LRU side effect).
+    pub fn contains(&self, block: &BlockAddr) -> bool {
+        self.peek(block).is_some()
+    }
+
+    /// Inserts (or replaces) a block, returning the LRU line evicted to make
+    /// room, if any. Replacing an existing block never evicts.
+    pub fn insert(&mut self, block: BlockAddr, value: V) -> Option<(BlockAddr, V)> {
+        let tick = self.bump();
+        let ways = self.config.ways;
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.block == block) {
+            line.value = value;
+            line.lru = tick;
+            return None;
+        }
+
+        let evicted = if set.len() == ways {
+            let (victim_idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("full set is nonempty");
+            let victim = set.swap_remove(victim_idx);
+            Some((victim.block, victim.value))
+        } else {
+            None
+        };
+
+        set.push(Line {
+            block,
+            value,
+            lru: tick,
+        });
+        evicted
+    }
+
+    /// Removes a block, returning its state if present.
+    pub fn remove(&mut self, block: &BlockAddr) -> Option<V> {
+        let idx = self.set_index(*block);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|l| l.block == *block)?;
+        Some(set.swap_remove(pos).value)
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    /// Drops every line.
+    pub fn clear(&mut self) {
+        self.sets.iter_mut().for_each(Vec::clear);
+    }
+
+    /// Iterates over `(block, state)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &V)> {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().map(|l| (l.block, &l.value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> BlockAddr {
+        BlockAddr(n)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut c = SetAssocCache::new(CacheConfig::new(4, 2));
+        assert!(c.insert(addr(1), 10).is_none());
+        assert_eq!(c.get(&addr(1)), Some(&10));
+        assert_eq!(c.remove(&addr(1)), Some(10));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = SetAssocCache::new(CacheConfig::new(1, 3));
+        c.insert(addr(1), ());
+        c.insert(addr(2), ());
+        c.insert(addr(3), ());
+        c.get(&addr(1)); // 2 is now LRU
+        let ev = c.insert(addr(4), ());
+        assert_eq!(ev, Some((addr(2), ())));
+    }
+
+    #[test]
+    fn replace_existing_does_not_evict() {
+        let mut c = SetAssocCache::new(CacheConfig::new(1, 2));
+        c.insert(addr(1), 'a');
+        c.insert(addr(2), 'b');
+        assert!(c.insert(addr(1), 'z').is_none());
+        assert_eq!(c.peek(&addr(1)), Some(&'z'));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = SetAssocCache::new(CacheConfig::new(2, 1));
+        c.insert(addr(0), 'e'); // set 0
+        c.insert(addr(1), 'o'); // set 1
+        assert_eq!(c.len(), 2);
+        // Same set as 0 → evicts only 0.
+        let ev = c.insert(addr(2), 'x');
+        assert_eq!(ev, Some((addr(0), 'e')));
+        assert_eq!(c.peek(&addr(1)), Some(&'o'));
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut c = SetAssocCache::new(CacheConfig::new(1, 2));
+        c.insert(addr(1), ());
+        c.insert(addr(2), ());
+        c.peek(&addr(1)); // must NOT protect 1
+        let ev = c.insert(addr(3), ());
+        assert_eq!(ev, Some((addr(1), ())));
+    }
+
+    #[test]
+    fn get_mut_updates_value() {
+        let mut c = SetAssocCache::new(CacheConfig::new(2, 2));
+        c.insert(addr(5), 1);
+        *c.get_mut(&addr(5)).unwrap() += 10;
+        assert_eq!(c.peek(&addr(5)), Some(&11));
+    }
+
+    #[test]
+    fn capacity_and_fill() {
+        let cfg = CacheConfig::new(8, 4);
+        let mut c = SetAssocCache::new(cfg);
+        for i in 0..cfg.capacity_blocks() as u64 {
+            assert!(c.insert(addr(i), ()).is_none(), "no eviction while cold");
+        }
+        assert_eq!(c.len(), cfg.capacity_blocks());
+        assert!(c.insert(addr(1000), ()).is_some());
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut c = SetAssocCache::new(CacheConfig::new(4, 2));
+        for i in 0..6u64 {
+            c.insert(addr(i), i);
+        }
+        let mut blocks: Vec<u64> = c.iter().map(|(b, _)| b.0).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = SetAssocCache::new(CacheConfig::new(2, 2));
+        c.insert(addr(1), ());
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.contains(&addr(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        CacheConfig::new(3, 1);
+    }
+}

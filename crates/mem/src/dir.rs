@@ -1,0 +1,164 @@
+//! Per-block directory state embedded in the L2 tags.
+
+use std::fmt;
+
+/// Directory state for one block, stored alongside the block's L2 line
+/// (the paper's inclusive L2 holds "a bit-vector of the L1 sharers and a
+/// pointer to the exclusive copy").
+///
+/// **Sticky states are represented implicitly**: when an L1 evicts a block
+/// in a transaction's read/write-set, the directory entry is simply *not
+/// updated* (paper §5: "the L2 cache does not update the exclusive pointer
+/// or sharer's list"), so `owner`/`sharers` keep naming the evicting core
+/// and later requests are still forwarded there for signature checks. The
+/// [`DirEntry::sticky`] flag records that this happened, for statistics and
+/// for the sticky-ablation experiment.
+///
+/// ```
+/// use ltse_mem::DirEntry;
+///
+/// let mut e = DirEntry::new();
+/// e.add_sharer(3);
+/// e.add_sharer(5);
+/// assert_eq!(e.sharer_list(), vec![3, 5]);
+/// e.remove_sharer(3);
+/// assert!(!e.is_sharer(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DirEntry {
+    /// Core holding the block exclusively (E or M), if any.
+    pub owner: Option<u8>,
+    /// Bit-vector of cores holding the block shared (bit *i* ⇒ core *i*).
+    pub sharers: u32,
+    /// Whether this entry survived an L1 eviction of transactional data and
+    /// therefore names at least one core that no longer caches the block.
+    pub sticky: bool,
+    /// Set after an L1 NACKed a rebuilt-directory request; all subsequent
+    /// requests must keep checking L1 signatures until one succeeds (paper
+    /// §5: "the L2 directory goes to a new state that requires L1 signature
+    /// checks for all subsequent requests").
+    pub check_all: bool,
+}
+
+impl DirEntry {
+    /// A fresh entry: uncached, no owner, no sharers.
+    pub fn new() -> Self {
+        DirEntry::default()
+    }
+
+    /// An entry owned exclusively by `core`.
+    pub fn owned_by(core: u8) -> Self {
+        DirEntry {
+            owner: Some(core),
+            ..DirEntry::default()
+        }
+    }
+
+    /// Whether core `c` is marked as a sharer.
+    #[inline]
+    pub fn is_sharer(&self, c: u8) -> bool {
+        self.sharers & (1 << c) != 0
+    }
+
+    /// Marks core `c` as a sharer.
+    #[inline]
+    pub fn add_sharer(&mut self, c: u8) {
+        debug_assert!(c < 32);
+        self.sharers |= 1 << c;
+    }
+
+    /// Clears core `c`'s sharer bit.
+    #[inline]
+    pub fn remove_sharer(&mut self, c: u8) {
+        self.sharers &= !(1 << c);
+    }
+
+    /// All sharer core ids in ascending order.
+    pub fn sharer_list(&self) -> Vec<u8> {
+        (0..32).filter(|&c| self.is_sharer(c)).collect()
+    }
+
+    /// Number of sharers.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    /// Whether no core is recorded as caching the block.
+    pub fn is_uncached(&self) -> bool {
+        self.owner.is_none() && self.sharers == 0
+    }
+
+    /// Every core this entry would forward a request to (owner plus
+    /// sharers), excluding `except`.
+    pub fn forward_targets(&self, except: u8) -> Vec<u8> {
+        let mut v = Vec::new();
+        if let Some(o) = self.owner {
+            if o != except {
+                v.push(o);
+            }
+        }
+        for c in self.sharer_list() {
+            if c != except && self.owner != Some(c) {
+                v.push(c);
+            }
+        }
+        v
+    }
+}
+
+impl fmt::Display for DirEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dir{{owner:{:?}, sharers:{:#b}{}{}}}",
+            self.owner,
+            self.sharers,
+            if self.sticky { ", sticky" } else { "" },
+            if self.check_all { ", check-all" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharer_bit_ops() {
+        let mut e = DirEntry::new();
+        assert!(e.is_uncached());
+        e.add_sharer(0);
+        e.add_sharer(31);
+        assert!(e.is_sharer(0) && e.is_sharer(31));
+        assert_eq!(e.sharer_count(), 2);
+        e.remove_sharer(0);
+        assert!(!e.is_sharer(0));
+        assert_eq!(e.sharer_list(), vec![31]);
+    }
+
+    #[test]
+    fn owned_by_sets_owner() {
+        let e = DirEntry::owned_by(7);
+        assert_eq!(e.owner, Some(7));
+        assert!(!e.is_uncached());
+    }
+
+    #[test]
+    fn forward_targets_excludes_requester_and_dedups_owner() {
+        let mut e = DirEntry::owned_by(2);
+        e.add_sharer(2); // stale self-share; must not duplicate
+        e.add_sharer(4);
+        e.add_sharer(9);
+        assert_eq!(e.forward_targets(4), vec![2, 9]);
+        assert_eq!(e.forward_targets(2), vec![4, 9]);
+    }
+
+    #[test]
+    fn display_mentions_flags() {
+        let mut e = DirEntry::new();
+        e.sticky = true;
+        e.check_all = true;
+        let s = e.to_string();
+        assert!(s.contains("sticky") && s.contains("check-all"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Latency parameters (the paper's Table 1).
+
+use ltse_sim::Cycle;
+
+/// Uncontended latencies of the paper's system model (Table 1) plus the
+/// small fixed costs our protocol path model needs.
+///
+/// ```
+/// use ltse_sim::Cycle;
+/// use ltse_mem::LatencyConfig;
+///
+/// let lat = LatencyConfig::paper_table1();
+/// assert_eq!(lat.l1_hit, Cycle(1));
+/// assert_eq!(lat.l2_access, Cycle(34));
+/// assert_eq!(lat.dram, Cycle(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// L1 hit: "1 cycle uncontended latency".
+    pub l1_hit: Cycle,
+    /// L2 data access: "34-cycle uncontended latency".
+    pub l2_access: Cycle,
+    /// Directory lookup: "6-cycle latency".
+    pub directory: Cycle,
+    /// Off-chip DRAM: "500-cycle latency".
+    pub dram: Cycle,
+    /// One interconnect link: "3-cycle link latency".
+    pub link: Cycle,
+    /// Probing a remote L1's tags / signature on a forwarded request.
+    pub remote_probe: Cycle,
+}
+
+impl LatencyConfig {
+    /// The paper's Table 1 values.
+    pub fn paper_table1() -> Self {
+        LatencyConfig {
+            l1_hit: Cycle(1),
+            l2_access: Cycle(34),
+            directory: Cycle(6),
+            dram: Cycle(500),
+            link: Cycle(3),
+            remote_probe: Cycle(1),
+        }
+    }
+
+    /// A uniformly cheap configuration for fast unit tests where absolute
+    /// numbers don't matter.
+    pub fn uniform_for_tests() -> Self {
+        LatencyConfig {
+            l1_hit: Cycle(1),
+            l2_access: Cycle(4),
+            directory: Cycle(1),
+            dram: Cycle(20),
+            link: Cycle(1),
+            remote_probe: Cycle(1),
+        }
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig::paper_table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(LatencyConfig::default(), LatencyConfig::paper_table1());
+    }
+
+    #[test]
+    fn paper_values_match_table1() {
+        let l = LatencyConfig::paper_table1();
+        assert_eq!(l.l1_hit, Cycle(1));
+        assert_eq!(l.l2_access, Cycle(34));
+        assert_eq!(l.directory, Cycle(6));
+        assert_eq!(l.dram, Cycle(500));
+        assert_eq!(l.link, Cycle(3));
+    }
+}

@@ -1,0 +1,126 @@
+//! The on-chip grid interconnect.
+//!
+//! The paper connects cores and L2 banks with "a packet-switched interconnect
+//! … in a grid topology using 64-byte links and adaptive routing". We model
+//! the latency side: each node hosts one core and one L2 bank, nodes form a
+//! `width × height` mesh, and a message costs `hops × link_latency` with
+//! dimension-ordered (Manhattan) hop counting. Contention is not modelled
+//! (DESIGN.md, timing model).
+
+use ltse_sim::Cycle;
+
+/// A mesh of nodes, each hosting one core and the same-numbered L2 bank.
+///
+/// ```
+/// use ltse_mem::Grid;
+/// use ltse_sim::Cycle;
+///
+/// let g = Grid::new(4, 4, Cycle(3)); // the paper's 16-node grid
+/// assert_eq!(g.hops(0, 0), 0);
+/// assert_eq!(g.hops(0, 15), 6);      // (0,0) → (3,3)
+/// assert_eq!(g.latency(0, 15), Cycle(18));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid {
+    width: usize,
+    height: usize,
+    link: Cycle,
+}
+
+impl Grid {
+    /// Creates a `width × height` mesh with the given per-link latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize, link: Cycle) -> Self {
+        assert!(width > 0 && height > 0, "grid must be nonempty");
+        Grid {
+            width,
+            height,
+            link,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Manhattan hop count between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if either node id is out of range.
+    pub fn hops(&self, a: usize, b: usize) -> u64 {
+        debug_assert!(a < self.nodes() && b < self.nodes());
+        let (ax, ay) = (a % self.width, a / self.width);
+        let (bx, by) = (b % self.width, b / self.width);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// Latency of one message from node `a` to node `b`.
+    pub fn latency(&self, a: usize, b: usize) -> Cycle {
+        Cycle(self.hops(a, b) * self.link.as_u64())
+    }
+
+    /// Latency of a broadcast from `from` to every other node, modelled as
+    /// the worst single destination (fan-out happens in parallel).
+    pub fn broadcast_latency(&self, from: usize) -> Cycle {
+        (0..self.nodes())
+            .map(|n| self.latency(from, n))
+            .max()
+            .unwrap_or(Cycle::ZERO)
+    }
+
+    /// The farthest round trip on the mesh, a useful upper bound in tests.
+    pub fn diameter_latency(&self) -> Cycle {
+        Cycle(((self.width - 1) + (self.height - 1)) as u64 * self.link.as_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_are_manhattan() {
+        let g = Grid::new(4, 4, Cycle(3));
+        assert_eq!(g.hops(0, 3), 3); // across the top row
+        assert_eq!(g.hops(0, 12), 3); // down the left column
+        assert_eq!(g.hops(5, 10), 2); // (1,1) → (2,2)
+        assert_eq!(g.hops(7, 7), 0);
+    }
+
+    #[test]
+    fn hops_symmetric() {
+        let g = Grid::new(4, 4, Cycle(3));
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(g.hops(a, b), g.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_is_worst_case() {
+        let g = Grid::new(4, 4, Cycle(3));
+        assert_eq!(g.broadcast_latency(0), Cycle(18)); // to node 15
+        assert_eq!(g.broadcast_latency(5), Cycle(12)); // center-ish node
+    }
+
+    #[test]
+    fn diameter() {
+        let g = Grid::new(4, 4, Cycle(3));
+        assert_eq!(g.diameter_latency(), Cycle(18));
+        let line = Grid::new(8, 1, Cycle(2));
+        assert_eq!(line.diameter_latency(), Cycle(14));
+    }
+
+    #[test]
+    fn single_node_grid() {
+        let g = Grid::new(1, 1, Cycle(3));
+        assert_eq!(g.latency(0, 0), Cycle::ZERO);
+        assert_eq!(g.broadcast_latency(0), Cycle::ZERO);
+    }
+}

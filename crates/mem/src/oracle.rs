@@ -1,0 +1,109 @@
+//! The decoupling boundary: conflict checks delegated out of the memory
+//! system.
+//!
+//! LogTM-SE's thesis is that transactional state lives *outside* the cache
+//! arrays. This crate honours that architecturally: the coherence protocol
+//! never sees a signature. Instead, wherever the real hardware would probe a
+//! core's signatures (forwarded GETS/GETM, invalidations, directory-rebuild
+//! broadcasts, eviction decisions), the protocol calls a [`ConflictOracle`]
+//! that the TM layer implements.
+
+use crate::addr::BlockAddr;
+
+/// Whether a memory access reads or writes (maps to the paper's GETS/GETM
+/// coherence requests and to `SigOp` in `ltse-sig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load; misses issue GETS.
+    Load,
+    /// A store (or atomic RMW); misses/upgrades issue GETM.
+    Store,
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        })
+    }
+}
+
+/// Signature checks the protocol delegates to the TM layer.
+///
+/// `requester_ctx` is a *global thread context id* (see
+/// [`crate::MemConfig::ctx`]). The paper attaches an address-space id to
+/// every coherence request so aliasing cannot create cross-process false
+/// conflicts (§2); implementations know every context's [`crate::Asid`], including
+/// the requester's, and must NACK only when the signature hits **and** the
+/// ASIDs match.
+pub trait ConflictOracle {
+    /// Would any thread context on `core` NACK an incoming request of `kind`
+    /// for `block` from `requester_ctx`? Returns the nacking context id, or
+    /// `None` if the request may proceed. The requester's own context must
+    /// not be reported.
+    fn check_core(
+        &self,
+        core: u8,
+        kind: AccessKind,
+        block: BlockAddr,
+        requester_ctx: u32,
+    ) -> Option<u32>;
+
+    /// Does `core`'s *hardware* view (its signatures, false positives
+    /// included) consider `block` transactional? Controls the sticky-state
+    /// decision on L1 eviction and the broadcast-needed decision on L2
+    /// eviction.
+    fn block_is_transactional_hw(&self, core: u8, block: BlockAddr) -> bool;
+
+    /// Does any active transaction on `core` *exactly* (shadow sets, no
+    /// false positives) hold `block` in its read- or write-set? Used only
+    /// for the paper's Result 4 victimization statistics, never for
+    /// protocol decisions.
+    fn block_is_transactional_exact(&self, core: u8, block: BlockAddr) -> bool;
+}
+
+/// An oracle with no transactions anywhere: nothing conflicts, nothing is
+/// transactional. Lets the memory system be unit-tested (and the lock-based
+/// baseline run) in isolation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullOracle;
+
+impl ConflictOracle for NullOracle {
+    fn check_core(
+        &self,
+        _core: u8,
+        _kind: AccessKind,
+        _block: BlockAddr,
+        _requester_ctx: u32,
+    ) -> Option<u32> {
+        None
+    }
+
+    fn block_is_transactional_hw(&self, _core: u8, _block: BlockAddr) -> bool {
+        false
+    }
+
+    fn block_is_transactional_exact(&self, _core: u8, _block: BlockAddr) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_oracle_never_conflicts() {
+        let o = NullOracle;
+        assert_eq!(o.check_core(0, AccessKind::Store, BlockAddr(1), 99), None);
+        assert!(!o.block_is_transactional_hw(0, BlockAddr(1)));
+        assert!(!o.block_is_transactional_exact(0, BlockAddr(1)));
+    }
+
+    #[test]
+    fn access_kind_display() {
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+    }
+}

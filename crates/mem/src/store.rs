@@ -1,0 +1,102 @@
+//! The flat simulated memory contents.
+//!
+//! Because the memory system resolves coherence atomically (DESIGN.md), data
+//! values are always globally consistent and can live in one flat store.
+//! Caches model tags/state for timing and protocol behaviour only. Eager
+//! version management still works exactly as in the paper: new values go *in
+//! place* (straight into this store) and old values are saved in the
+//! transaction's log (by the TM crate) before the first transactional
+//! overwrite.
+
+use std::collections::HashMap;
+
+use crate::addr::WordAddr;
+
+/// Word-addressable simulated memory. Unwritten words read as zero.
+///
+/// ```
+/// use ltse_mem::{MemStore, WordAddr};
+///
+/// let mut m = MemStore::new();
+/// assert_eq!(m.read(WordAddr(64)), 0);
+/// m.write(WordAddr(64), 7);
+/// assert_eq!(m.read(WordAddr(64)), 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    words: HashMap<u64, u64>,
+}
+
+impl MemStore {
+    /// Creates an all-zero memory.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// Reads one word (zero if never written).
+    pub fn read(&self, addr: WordAddr) -> u64 {
+        self.words.get(&addr.0).copied().unwrap_or(0)
+    }
+
+    /// Writes one word in place.
+    pub fn write(&mut self, addr: WordAddr, value: u64) {
+        if value == 0 {
+            self.words.remove(&addr.0);
+        } else {
+            self.words.insert(addr.0, value);
+        }
+    }
+
+    /// Atomically applies `f` to a word and returns `(old, new)` — the
+    /// building block for the simulated CAS/fetch-and-add the lock baseline
+    /// uses.
+    pub fn update(&mut self, addr: WordAddr, f: impl FnOnce(u64) -> u64) -> (u64, u64) {
+        let old = self.read(addr);
+        let new = f(old);
+        self.write(addr, new);
+        (old, new)
+    }
+
+    /// Number of nonzero words (diagnostics only).
+    pub fn nonzero_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default() {
+        let m = MemStore::new();
+        assert_eq!(m.read(WordAddr(12345)), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = MemStore::new();
+        m.write(WordAddr(1), 42);
+        m.write(WordAddr(2), 43);
+        assert_eq!(m.read(WordAddr(1)), 42);
+        assert_eq!(m.read(WordAddr(2)), 43);
+    }
+
+    #[test]
+    fn writing_zero_reclaims() {
+        let mut m = MemStore::new();
+        m.write(WordAddr(1), 42);
+        m.write(WordAddr(1), 0);
+        assert_eq!(m.nonzero_words(), 0);
+        assert_eq!(m.read(WordAddr(1)), 0);
+    }
+
+    #[test]
+    fn update_returns_old_and_new() {
+        let mut m = MemStore::new();
+        m.write(WordAddr(9), 10);
+        let (old, new) = m.update(WordAddr(9), |v| v + 5);
+        assert_eq!((old, new), (10, 15));
+        assert_eq!(m.read(WordAddr(9)), 15);
+    }
+}

@@ -1,0 +1,593 @@
+//! The paper's Figure 3 signature implementations: bit-select (BS),
+//! double-bit-select (DBS), and coarse-bit-select (CBS).
+
+use crate::traits::{BitArray, SavedSignature, Signature};
+
+fn assert_power_of_two(bits: usize) {
+    assert!(
+        bits.is_power_of_two(),
+        "signature size must be a power of two, got {bits}"
+    );
+}
+
+/// Bit-select signature ("BS", Figure 3a): decodes the `log2(bits)`
+/// least-significant bits of the block address and ORs the decoded one-hot
+/// value into the filter. The paper's simplest implementable signature;
+/// evaluated at 2 Kb and 64 b in Figure 4.
+///
+/// ```
+/// use ltse_sig::{BitSelectSignature, Signature};
+///
+/// let mut s = BitSelectSignature::new(64);
+/// s.insert(3);
+/// assert!(s.maybe_contains(3));
+/// assert!(s.maybe_contains(3 + 64)); // aliases: false positive, by design
+/// assert!(!s.maybe_contains(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSelectSignature {
+    bits: BitArray,
+    mask: u64,
+}
+
+impl BitSelectSignature {
+    /// Creates a BS signature with `bits` total bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a power of two.
+    pub fn new(bits: usize) -> Self {
+        assert_power_of_two(bits);
+        BitSelectSignature {
+            bits: BitArray::new(bits),
+            mask: bits as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn index(&self, a: u64) -> usize {
+        (a & self.mask) as usize
+    }
+}
+
+impl Signature for BitSelectSignature {
+    fn insert(&mut self, a: u64) {
+        let idx = self.index(a);
+        self.bits.set(idx);
+    }
+
+    fn maybe_contains(&self, a: u64) -> bool {
+        self.bits.get(self.index(a))
+    }
+
+    fn clear(&mut self) {
+        self.bits.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    fn union_with(&mut self, other: &dyn Signature) {
+        match other.save() {
+            SavedSignature::Bits(words) => {
+                let mut tmp = BitArray::new(self.bits.len());
+                tmp.load_words(&words);
+                self.bits.union_with(&tmp);
+            }
+            SavedSignature::Exact(_) => panic!("cannot union a perfect signature into bit-select"),
+        }
+    }
+
+    fn save(&self) -> SavedSignature {
+        SavedSignature::Bits(self.bits.words().to_vec())
+    }
+
+    fn restore(&mut self, saved: &SavedSignature) {
+        match saved {
+            SavedSignature::Bits(words) => self.bits.load_words(words),
+            SavedSignature::Exact(_) => panic!("saved state shape mismatch"),
+        }
+    }
+
+    fn saturation(&self) -> f64 {
+        self.bits.set_count() as f64 / self.bits.len() as f64
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn clone_box(&self) -> Box<dyn Signature> {
+        Box::new(self.clone())
+    }
+}
+
+/// Coarse-bit-select signature ("CBS", Figure 3c): bit-select applied at
+/// macroblock granularity. The paper's configuration decodes the 11
+/// least-significant bits of a 1 KB macroblock (16 contiguous 64-byte
+/// blocks), trading precision for reach on large transactions.
+///
+/// ```
+/// use ltse_sig::{CoarseBitSelectSignature, Signature};
+///
+/// // 1 KB macroblocks = 16 blocks of 64 bytes.
+/// let mut s = CoarseBitSelectSignature::new(2048, 16);
+/// s.insert(0);
+/// // Every block of the same macroblock now matches:
+/// assert!(s.maybe_contains(15));
+/// assert!(!s.maybe_contains(16));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoarseBitSelectSignature {
+    bits: BitArray,
+    mask: u64,
+    shift: u32,
+}
+
+impl CoarseBitSelectSignature {
+    /// Creates a CBS signature with `bits` total bits tracking macroblocks of
+    /// `blocks_per_macroblock` cache blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not a power of two.
+    pub fn new(bits: usize, blocks_per_macroblock: u64) -> Self {
+        assert_power_of_two(bits);
+        assert!(
+            blocks_per_macroblock.is_power_of_two(),
+            "macroblock size must be a power of two"
+        );
+        CoarseBitSelectSignature {
+            bits: BitArray::new(bits),
+            mask: bits as u64 - 1,
+            shift: blocks_per_macroblock.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn index(&self, a: u64) -> usize {
+        ((a >> self.shift) & self.mask) as usize
+    }
+}
+
+impl Signature for CoarseBitSelectSignature {
+    fn insert(&mut self, a: u64) {
+        let idx = self.index(a);
+        self.bits.set(idx);
+    }
+
+    fn maybe_contains(&self, a: u64) -> bool {
+        self.bits.get(self.index(a))
+    }
+
+    fn clear(&mut self) {
+        self.bits.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    fn union_with(&mut self, other: &dyn Signature) {
+        match other.save() {
+            SavedSignature::Bits(words) => {
+                let mut tmp = BitArray::new(self.bits.len());
+                tmp.load_words(&words);
+                self.bits.union_with(&tmp);
+            }
+            SavedSignature::Exact(_) => {
+                panic!("cannot union a perfect signature into coarse-bit-select")
+            }
+        }
+    }
+
+    fn save(&self) -> SavedSignature {
+        SavedSignature::Bits(self.bits.words().to_vec())
+    }
+
+    fn restore(&mut self, saved: &SavedSignature) {
+        match saved {
+            SavedSignature::Bits(words) => self.bits.load_words(words),
+            SavedSignature::Exact(_) => panic!("saved state shape mismatch"),
+        }
+    }
+
+    fn saturation(&self) -> f64 {
+        self.bits.set_count() as f64 / self.bits.len() as f64
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn clone_box(&self) -> Box<dyn Signature> {
+        Box::new(self.clone())
+    }
+}
+
+/// Double-bit-select signature ("DBS", Figure 3b): the filter is split into
+/// two halves; one address field selects a bit in each half, and a lookup
+/// conflicts only when **both** bits are set. This is the Bulk-style default
+/// the paper compares against (permute + decode two 10-bit fields at 2 Kb).
+///
+/// ```
+/// use ltse_sig::{DoubleBitSelectSignature, Signature};
+///
+/// let mut s = DoubleBitSelectSignature::new(2048);
+/// s.insert(0x12345);
+/// assert!(s.maybe_contains(0x12345));
+/// assert!(!s.maybe_contains(0x12346));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoubleBitSelectSignature {
+    bits: BitArray,
+    half: usize,
+    field_bits: u32,
+}
+
+impl DoubleBitSelectSignature {
+    /// Creates a DBS signature with `bits` total bits (split into two
+    /// `bits/2` halves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a power of two or is smaller than 4.
+    pub fn new(bits: usize) -> Self {
+        assert_power_of_two(bits);
+        assert!(bits >= 4, "DBS needs at least 4 bits");
+        let half = bits / 2;
+        DoubleBitSelectSignature {
+            bits: BitArray::new(bits),
+            half,
+            field_bits: half.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn indices(&self, a: u64) -> (usize, usize) {
+        let mask = self.half as u64 - 1;
+        let lo = (a & mask) as usize;
+        let hi = ((a >> self.field_bits) & mask) as usize;
+        (lo, self.half + hi)
+    }
+}
+
+impl Signature for DoubleBitSelectSignature {
+    fn insert(&mut self, a: u64) {
+        let (lo, hi) = self.indices(a);
+        self.bits.set(lo);
+        self.bits.set(hi);
+    }
+
+    fn maybe_contains(&self, a: u64) -> bool {
+        let (lo, hi) = self.indices(a);
+        self.bits.get(lo) && self.bits.get(hi)
+    }
+
+    fn clear(&mut self) {
+        self.bits.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    fn union_with(&mut self, other: &dyn Signature) {
+        match other.save() {
+            SavedSignature::Bits(words) => {
+                let mut tmp = BitArray::new(self.bits.len());
+                tmp.load_words(&words);
+                self.bits.union_with(&tmp);
+            }
+            SavedSignature::Exact(_) => {
+                panic!("cannot union a perfect signature into double-bit-select")
+            }
+        }
+    }
+
+    fn save(&self) -> SavedSignature {
+        SavedSignature::Bits(self.bits.words().to_vec())
+    }
+
+    fn restore(&mut self, saved: &SavedSignature) {
+        match saved {
+            SavedSignature::Bits(words) => self.bits.load_words(words),
+            SavedSignature::Exact(_) => panic!("saved state shape mismatch"),
+        }
+    }
+
+    fn saturation(&self) -> f64 {
+        self.bits.set_count() as f64 / self.bits.len() as f64
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.bits.len()
+    }
+
+    fn clone_box(&self) -> Box<dyn Signature> {
+        Box::new(self.clone())
+    }
+}
+
+/// Permuted-bit-select signature: Bulk's refinement of DBS. The block
+/// address is first permuted with a fixed bit shuffle, then two fields are
+/// decoded into the two filter halves. The permutation decorrelates the
+/// fields from low-order address locality (sequential blocks no longer
+/// march through one field linearly), which is why Bulk's default signature
+/// permutes before decoding.
+///
+/// ```
+/// use ltse_sig::{PermutedBitSelectSignature, Signature};
+///
+/// let mut s = PermutedBitSelectSignature::new(2048);
+/// s.insert(0xabc);
+/// assert!(s.maybe_contains(0xabc));
+/// assert!(!s.maybe_contains(0xabd));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermutedBitSelectSignature {
+    inner: DoubleBitSelectSignature,
+}
+
+impl PermutedBitSelectSignature {
+    /// Creates a permuted-DBS signature with `bits` total bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a power of two or is smaller than 4.
+    pub fn new(bits: usize) -> Self {
+        PermutedBitSelectSignature {
+            inner: DoubleBitSelectSignature::new(bits),
+        }
+    }
+
+    /// A fixed, cheap bit permutation (hardware: pure wiring). A
+    /// multiply-xorshift by an odd constant is a bijection on u64, standing
+    /// in for Bulk's wire permutation network.
+    #[inline]
+    fn permute(a: u64) -> u64 {
+        let x = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        x ^ (x >> 17)
+    }
+}
+
+impl Signature for PermutedBitSelectSignature {
+    fn insert(&mut self, a: u64) {
+        self.inner.insert(Self::permute(a));
+    }
+
+    fn maybe_contains(&self, a: u64) -> bool {
+        self.inner.maybe_contains(Self::permute(a))
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    fn union_with(&mut self, other: &dyn Signature) {
+        self.inner.union_with(other);
+    }
+
+    fn save(&self) -> SavedSignature {
+        self.inner.save()
+    }
+
+    fn restore(&mut self, saved: &SavedSignature) {
+        self.inner.restore(saved);
+    }
+
+    fn saturation(&self) -> f64 {
+        self.inner.saturation()
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.inner.storage_bits()
+    }
+
+    fn clone_box(&self) -> Box<dyn Signature> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bs_no_false_negatives() {
+        let mut s = BitSelectSignature::new(64);
+        for a in 0..1000u64 {
+            s.insert(a * 7);
+        }
+        for a in 0..1000u64 {
+            assert!(s.maybe_contains(a * 7));
+        }
+    }
+
+    #[test]
+    fn bs_aliases_at_modulus() {
+        let mut s = BitSelectSignature::new(64);
+        s.insert(5);
+        assert!(s.maybe_contains(5 + 64));
+        assert!(s.maybe_contains(5 + 128));
+        assert!(!s.maybe_contains(6));
+    }
+
+    #[test]
+    fn bs_single_bit_acts_as_global_lock() {
+        // The paper's Table 3 discussion: a 1-bit signature conflicts with
+        // everything once anything is inserted.
+        let mut s = BitSelectSignature::new(1);
+        assert!(!s.maybe_contains(99));
+        s.insert(0);
+        for a in 0..100u64 {
+            assert!(s.maybe_contains(a));
+        }
+    }
+
+    #[test]
+    fn cbs_macroblock_granularity() {
+        let mut s = CoarseBitSelectSignature::new(2048, 16);
+        s.insert(32); // macroblock 2
+        for b in 32..48u64 {
+            assert!(s.maybe_contains(b), "block {b} shares macroblock");
+        }
+        assert!(!s.maybe_contains(31));
+        assert!(!s.maybe_contains(48));
+    }
+
+    #[test]
+    fn dbs_requires_both_bits() {
+        let mut s = DoubleBitSelectSignature::new(16); // halves of 8, 3-bit fields
+        s.insert(0b000_001); // lo field 1, hi field 0
+        s.insert(0b001_000); // lo field 0, hi field 1
+        // Address with lo=1, hi=1: lo bit 1 set (from first), hi bit 1 set
+        // (from second) → false positive, demonstrating cross-aliasing.
+        assert!(s.maybe_contains(0b001_001));
+        // lo=2 never set → no conflict even though hi aliases.
+        assert!(!s.maybe_contains(0b000_010));
+    }
+
+    #[test]
+    fn dbs_more_precise_than_bs_at_same_size() {
+        // Insert a sparse set; count false positives over a probe range.
+        let mut bs = BitSelectSignature::new(256);
+        let mut dbs = DoubleBitSelectSignature::new(256);
+        let inserted: Vec<u64> = (0..40).map(|i| i * 97 + 13).collect();
+        for &a in &inserted {
+            bs.insert(a);
+            dbs.insert(a);
+        }
+        let mut bs_fp = 0;
+        let mut dbs_fp = 0;
+        for probe in 10_000..20_000u64 {
+            if !inserted.contains(&probe) {
+                if bs.maybe_contains(probe) {
+                    bs_fp += 1;
+                }
+                if dbs.maybe_contains(probe) {
+                    dbs_fp += 1;
+                }
+            }
+        }
+        assert!(
+            dbs_fp < bs_fp,
+            "DBS should alias less: dbs={dbs_fp} bs={bs_fp}"
+        );
+    }
+
+    #[test]
+    fn save_restore_roundtrip_all_kinds() {
+        let mut bs = BitSelectSignature::new(128);
+        let mut cbs = CoarseBitSelectSignature::new(128, 16);
+        let mut dbs = DoubleBitSelectSignature::new(128);
+        for a in [1u64, 99, 4096, 77777] {
+            bs.insert(a);
+            cbs.insert(a);
+            dbs.insert(a);
+        }
+        let sigs: Vec<Box<dyn Signature>> = vec![Box::new(bs), Box::new(cbs), Box::new(dbs)];
+        for sig in sigs {
+            let saved = sig.save();
+            let mut fresh = sig.clone_box();
+            fresh.clear();
+            assert!(fresh.is_empty());
+            fresh.restore(&saved);
+            for a in [1u64, 99, 4096, 77777] {
+                assert!(fresh.maybe_contains(a));
+            }
+            assert_eq!(fresh.saturation(), sig.saturation());
+        }
+    }
+
+    #[test]
+    fn union_merges_sets() {
+        let mut a = BitSelectSignature::new(64);
+        let mut b = BitSelectSignature::new(64);
+        a.insert(1);
+        b.insert(2);
+        a.union_with(&b);
+        assert!(a.maybe_contains(1));
+        assert!(a.maybe_contains(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        BitSelectSignature::new(100);
+    }
+
+    #[test]
+    fn saturation_monotone() {
+        let mut s = BitSelectSignature::new(64);
+        let mut last = 0.0;
+        for a in 0..64u64 {
+            s.insert(a);
+            let sat = s.saturation();
+            assert!(sat >= last);
+            last = sat;
+        }
+        assert_eq!(last, 1.0);
+    }
+
+    #[test]
+    fn permuted_dbs_no_false_negatives() {
+        let mut s = PermutedBitSelectSignature::new(512);
+        let addrs: Vec<u64> = (0..100).map(|i| i * 37 + 5).collect();
+        for &a in &addrs {
+            s.insert(a);
+        }
+        for &a in &addrs {
+            assert!(s.maybe_contains(a));
+        }
+    }
+
+    #[test]
+    fn permutation_breaks_field_wraparound_aliasing() {
+        // Plain DBS decodes two fixed address fields; any two addresses
+        // that agree on both fields alias, and the fields wrap every
+        // 2^(lo_bits + hi_bits) blocks. For a 256-bit DBS (7+7 field bits),
+        // address A and A + k·2^14 alias *perfectly*. The permutation mixes
+        // high-order bits into both fields, breaking the pattern — Bulk's
+        // reason for permuting.
+        let mut plain = DoubleBitSelectSignature::new(256);
+        let mut perm = PermutedBitSelectSignature::new(256);
+        for a in 0..24u64 {
+            plain.insert(a * 3);
+            perm.insert(a * 3);
+        }
+        let probes: Vec<u64> = (1..24u64).map(|k| 3 + k * (1 << 14)).collect();
+        let plain_fp = probes.iter().filter(|&&a| plain.maybe_contains(a)).count();
+        let perm_fp = probes.iter().filter(|&&a| perm.maybe_contains(a)).count();
+        assert_eq!(plain_fp, probes.len(), "plain DBS aliases on every wrap");
+        assert!(
+            perm_fp < plain_fp,
+            "permutation must break wraparound aliasing ({perm_fp} vs {plain_fp})"
+        );
+    }
+
+    #[test]
+    fn permuted_save_restore_roundtrip() {
+        let mut s = PermutedBitSelectSignature::new(128);
+        s.insert(7);
+        s.insert(1 << 30);
+        let saved = s.save();
+        let mut t = PermutedBitSelectSignature::new(128);
+        t.restore(&saved);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn rehash_page_keeps_old_and_adds_new() {
+        let mut s = BitSelectSignature::new(4096);
+        s.insert(100); // page 1 (64-block pages), block offset 36
+        s.rehash_page(64, 512, 64);
+        assert!(s.maybe_contains(100), "old address retained");
+        assert!(s.maybe_contains(512 + 36), "new address inserted");
+    }
+}

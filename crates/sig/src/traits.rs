@@ -1,0 +1,246 @@
+//! The core [`Signature`] abstraction.
+
+use std::fmt::Debug;
+
+/// A conservative, software-accessible summary of a set of block addresses.
+///
+/// Implementations must uphold the paper's **no-false-negative invariant**:
+/// after `insert(a)`, `maybe_contains(a)` must return `true` until the next
+/// `clear()`. False positives are allowed (and are the interesting part).
+///
+/// Signatures are *software accessible* (the paper's second key benefit):
+/// [`Signature::save`] captures the full state as plain data that the OS or
+/// runtime can park in a log frame and later [`Signature::restore`].
+///
+/// This trait is object safe; thread contexts hold `Box<dyn Signature>` so a
+/// system can be configured with any implementation at run time.
+pub trait Signature: Debug {
+    /// `INSERT(A)`: adds block address `a` to the summarized set.
+    fn insert(&mut self, a: u64);
+
+    /// `CONFLICT(A)`: returns `true` if `a` **may** be in the set. Never
+    /// returns `false` for an address that was inserted since the last clear.
+    fn maybe_contains(&self, a: u64) -> bool;
+
+    /// `CLEAR`: empties the summarized set (a transaction commit/abort).
+    fn clear(&mut self);
+
+    /// Whether the summarized set is empty (no bit set / no element).
+    fn is_empty(&self) -> bool;
+
+    /// Merges another signature of the *same concrete shape* into this one
+    /// (set union); used to build summary signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has an incompatible shape (different kind or size).
+    fn union_with(&mut self, other: &dyn Signature);
+
+    /// Captures the complete signature state as software-visible data — the
+    /// operation the OS performs when descheduling a thread or starting a
+    /// nested transaction (signature-save area in the log frame header).
+    fn save(&self) -> SavedSignature;
+
+    /// Restores previously [`Signature::save`]d state, replacing the current
+    /// contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the saved state has an incompatible shape.
+    fn restore(&mut self, saved: &SavedSignature);
+
+    /// Fraction of the filter that is occupied, in `[0, 1]`: set bits over
+    /// total bits for hashed signatures, or a size-derived proxy for perfect
+    /// signatures. Drives the "signatures fill up" analyses.
+    fn saturation(&self) -> f64;
+
+    /// The hardware cost of this signature in bits (0 for the idealized
+    /// perfect signature, which is unimplementable hardware).
+    fn storage_bits(&self) -> usize;
+
+    /// Clones into a boxed trait object (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn Signature>;
+
+    /// Conservative page-remap support (paper §4.2): for every block of the
+    /// old page that may be in the set, insert the corresponding block of the
+    /// new page. Old entries are retained, matching the paper ("the updated
+    /// signature contains both the old and new physical addresses").
+    fn rehash_page(&mut self, old_page_base_block: u64, new_page_base_block: u64, blocks: u64) {
+        for i in 0..blocks {
+            if self.maybe_contains(old_page_base_block + i) {
+                self.insert(new_page_base_block + i);
+            }
+        }
+    }
+}
+
+impl Clone for Box<dyn Signature> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Saved signature state: plain, software-visible data.
+///
+/// Hashed signatures save their raw bit words; the idealized perfect
+/// signature saves its exact element list. Either way the state is ordinary
+/// memory the OS can park in a log frame — the property LogTM-SE's
+/// virtualization story rests on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SavedSignature {
+    /// Raw filter bits, packed into 64-bit words.
+    Bits(Vec<u64>),
+    /// Exact element list (perfect signatures only).
+    Exact(Vec<u64>),
+}
+
+impl SavedSignature {
+    /// Size of the saved representation in bytes, used to account for log
+    /// frame header space.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            SavedSignature::Bits(ws) => ws.len() * 8,
+            SavedSignature::Exact(es) => es.len() * 8,
+        }
+    }
+}
+
+/// A fixed-size bit array shared by the hashed signature implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitArray {
+    words: Vec<u64>,
+    bits: usize,
+    set_count: usize,
+}
+
+impl BitArray {
+    pub(crate) fn new(bits: usize) -> Self {
+        assert!(bits > 0, "signature must have at least one bit");
+        BitArray {
+            words: vec![0; bits.div_ceil(64)],
+            bits,
+            set_count: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, idx: usize) {
+        debug_assert!(idx < self.bits);
+        let w = idx / 64;
+        let b = 1u64 << (idx % 64);
+        if self.words[w] & b == 0 {
+            self.words[w] |= b;
+            self.set_count += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.bits);
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.set_count = 0;
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.bits
+    }
+
+    pub(crate) fn set_count(&self) -> usize {
+        self.set_count
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.set_count == 0
+    }
+
+    pub(crate) fn union_with(&mut self, other: &BitArray) {
+        assert_eq!(
+            self.bits, other.bits,
+            "cannot union signatures of different sizes"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+        self.recount();
+    }
+
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    pub(crate) fn load_words(&mut self, words: &[u64]) {
+        assert_eq!(
+            self.words.len(),
+            words.len(),
+            "saved signature has wrong word count"
+        );
+        self.words.copy_from_slice(words);
+        self.recount();
+    }
+
+    fn recount(&mut self) {
+        self.set_count = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitarray_set_get_clear() {
+        let mut b = BitArray::new(100);
+        assert!(b.is_empty());
+        b.set(0);
+        b.set(99);
+        b.set(99); // idempotent
+        assert!(b.get(0));
+        assert!(b.get(99));
+        assert!(!b.get(50));
+        assert_eq!(b.set_count(), 2);
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!b.get(0));
+    }
+
+    #[test]
+    fn bitarray_union() {
+        let mut a = BitArray::new(64);
+        let mut b = BitArray::new(64);
+        a.set(1);
+        b.set(2);
+        a.union_with(&b);
+        assert!(a.get(1) && a.get(2));
+        assert_eq!(a.set_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sizes")]
+    fn bitarray_union_size_mismatch_panics() {
+        let mut a = BitArray::new(64);
+        let b = BitArray::new(128);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn bitarray_word_roundtrip() {
+        let mut a = BitArray::new(128);
+        a.set(7);
+        a.set(127);
+        let words = a.words().to_vec();
+        let mut b = BitArray::new(128);
+        b.load_words(&words);
+        assert_eq!(a, b);
+        assert_eq!(b.set_count(), 2);
+    }
+
+    #[test]
+    fn saved_signature_sizes() {
+        assert_eq!(SavedSignature::Bits(vec![0; 32]).size_bytes(), 256);
+        assert_eq!(SavedSignature::Exact(vec![1, 2, 3]).size_bytes(), 24);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the signature invariants the paper's correctness
+//! argument rests on: no false negatives, clear releases everything, union is
+//! an over-approximation of set union, and save/restore is lossless.
+
+use proptest::prelude::*;
+
+use ltse_sig::{
+    ConflictVerdict, CountingSignature, ReadWriteSignature, ShadowedRwSignature, SigOp,
+    SignatureKind,
+};
+
+fn kind_strategy() -> impl Strategy<Value = SignatureKind> {
+    prop_oneof![
+        Just(SignatureKind::Perfect),
+        (4usize..=12).prop_map(|n| SignatureKind::BitSelect { bits: 1 << n }),
+        (4usize..=12).prop_map(|n| SignatureKind::DoubleBitSelect { bits: 1 << n }),
+        (4usize..=12).prop_map(|n| SignatureKind::CoarseBitSelect {
+            bits: 1 << n,
+            blocks_per_macroblock: 16,
+        }),
+        ((6usize..=12), (1u32..=6)).prop_map(|(n, k)| SignatureKind::Bloom { bits: 1 << n, k }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn no_false_negatives(kind in kind_strategy(), addrs in prop::collection::vec(0u64..1 << 32, 1..200)) {
+        let mut sig = kind.build();
+        for &a in &addrs {
+            sig.insert(a);
+        }
+        for &a in &addrs {
+            prop_assert!(sig.maybe_contains(a), "{kind} lost {a:#x}");
+        }
+    }
+
+    #[test]
+    fn clear_releases_everything_inserted(kind in kind_strategy(), addrs in prop::collection::vec(0u64..1 << 32, 1..100)) {
+        let mut sig = kind.build();
+        for &a in &addrs {
+            sig.insert(a);
+        }
+        sig.clear();
+        prop_assert!(sig.is_empty());
+        // Perfect signatures must drop every address; hashed ones must too
+        // because all bits are zero.
+        for &a in &addrs {
+            prop_assert!(!sig.maybe_contains(a));
+        }
+    }
+
+    #[test]
+    fn union_superset_of_both(kind in kind_strategy(),
+                              a_addrs in prop::collection::vec(0u64..1 << 24, 0..60),
+                              b_addrs in prop::collection::vec(0u64..1 << 24, 0..60)) {
+        let mut a = kind.build();
+        let mut b = kind.build();
+        for &x in &a_addrs { a.insert(x); }
+        for &x in &b_addrs { b.insert(x); }
+        a.union_with(b.as_ref());
+        for &x in a_addrs.iter().chain(&b_addrs) {
+            prop_assert!(a.maybe_contains(x));
+        }
+    }
+
+    #[test]
+    fn save_restore_is_lossless(kind in kind_strategy(), addrs in prop::collection::vec(0u64..1 << 32, 0..100)) {
+        let mut sig = kind.build();
+        for &a in &addrs { sig.insert(a); }
+        let saved = sig.save();
+        let mut fresh = kind.build();
+        fresh.restore(&saved);
+        for &a in &addrs {
+            prop_assert!(fresh.maybe_contains(a));
+        }
+        prop_assert_eq!(fresh.saturation(), sig.saturation());
+    }
+
+    #[test]
+    fn shadow_never_sees_false_negative(kind in kind_strategy(),
+                                        writes in prop::collection::vec(0u64..1 << 20, 0..50),
+                                        probes in prop::collection::vec(0u64..1 << 20, 0..50)) {
+        let mut rw = ShadowedRwSignature::new(&kind);
+        for &w in &writes {
+            rw.insert(SigOp::Write, w);
+        }
+        // classify() asserts internally that (sig=false, exact=true) never
+        // happens; exercise it over arbitrary probes.
+        for &p in &probes {
+            let v = rw.classify(SigOp::Write, p);
+            if writes.contains(&p) {
+                prop_assert_eq!(v, ConflictVerdict::True);
+            }
+        }
+    }
+
+    #[test]
+    fn rw_conflict_semantics(kind in kind_strategy(), addr in 0u64..1 << 20) {
+        // Write-write and read-write always conflict on the same address;
+        // read-read never conflicts (checked exactly only for Perfect).
+        let mut w = ReadWriteSignature::new(&kind);
+        w.insert(SigOp::Write, addr);
+        prop_assert!(w.conflicts_with(SigOp::Read, addr));
+        prop_assert!(w.conflicts_with(SigOp::Write, addr));
+
+        let mut r = ReadWriteSignature::new(&kind);
+        r.insert(SigOp::Read, addr);
+        prop_assert!(r.conflicts_with(SigOp::Write, addr));
+        if kind == SignatureKind::Perfect {
+            prop_assert!(!r.conflicts_with(SigOp::Read, addr));
+        }
+    }
+
+    #[test]
+    fn counting_signature_matches_naive_union(
+        n_threads in 1usize..6,
+        per_thread in prop::collection::vec(prop::collection::vec(0u64..1 << 16, 0..30), 1..6),
+    ) {
+        let _ = n_threads;
+        let kind = SignatureKind::BitSelect { bits: 512 };
+        let mut counting = CountingSignature::new(512);
+        let saves: Vec<_> = per_thread.iter().map(|addrs| {
+            let mut s = kind.build();
+            for &a in addrs { s.insert(a); }
+            s.save()
+        }).collect();
+        for s in &saves { counting.add(s); }
+        // Remove the first thread; the remainder must still cover threads 1..
+        if saves.len() > 1 {
+            counting.remove(&saves[0]);
+            let m = counting.materialize(&kind);
+            for addrs in per_thread.iter().skip(1) {
+                for &a in addrs {
+                    prop_assert!(m.maybe_contains(a));
+                }
+            }
+        }
+        // Removing everything empties the structure.
+        for s in saves.iter().skip(1) { counting.remove(s); }
+        if saves.len() > 1 {
+            prop_assert!(!counting.any_set());
+        }
+    }
+
+    #[test]
+    fn rehash_page_covers_new_locations(kind in kind_strategy(),
+                                        offsets in prop::collection::vec(0u64..64, 1..20)) {
+        let old_base = 1024u64;
+        let new_base = 8192u64;
+        let mut sig = kind.build();
+        for &o in &offsets {
+            sig.insert(old_base + o);
+        }
+        sig.rehash_page(old_base, new_base, 64);
+        for &o in &offsets {
+            prop_assert!(sig.maybe_contains(old_base + o), "old retained");
+            prop_assert!(sig.maybe_contains(new_base + o), "new covered");
+        }
+    }
+}

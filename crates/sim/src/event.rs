@@ -1,0 +1,234 @@
+//! Deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// An entry in the heap: ordered by time, then by insertion sequence so that
+/// events scheduled for the same cycle pop in FIFO order. `BinaryHeap` is a
+/// max-heap, so comparisons are reversed.
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: the smallest (time, seq) must be the heap maximum.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic ordering.
+///
+/// Events pop in nondecreasing [`Cycle`] order; events scheduled for the same
+/// cycle pop in the order they were pushed (stable FIFO tie-breaking). This
+/// determinism is load-bearing: the whole LogTM-SE evaluation relies on runs
+/// being exactly reproducible from `(config, seed)`.
+///
+/// # Example
+///
+/// ```
+/// use ltse_sim::{Cycle, EventQueue};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Tick, Tock }
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(2), Ev::Tock);
+/// q.push(Cycle(1), Ev::Tick);
+/// assert_eq!(q.pop(), Some((Cycle(1), Ev::Tick)));
+/// assert_eq!(q.pop(), Some((Cycle(2), Ev::Tock)));
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycle,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at cycle 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time (events may
+    /// not be scheduled in the past).
+    pub fn push(&mut self, at: Cycle, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` to fire `delay` cycles after the current time.
+    pub fn push_after(&mut self, delay: Cycle, payload: E) {
+        self.push(self.now + delay, payload);
+    }
+
+    /// Removes and returns the earliest event, advancing the queue's notion
+    /// of "now" to its timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// Returns the timestamp of the earliest pending event without removing
+    /// it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Current simulation time: the timestamp of the most recently popped
+    /// event (cycle 0 before any pop).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events, keeping the clock where it is.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 'c');
+        q.push(Cycle(10), 'a');
+        q.push(Cycle(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.push(Cycle(7), ());
+        q.pop();
+        assert_eq!(q.now(), Cycle(7));
+    }
+
+    #[test]
+    fn push_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), 1);
+        q.pop();
+        q.push_after(Cycle(5), 2);
+        assert_eq!(q.pop(), Some((Cycle(15), 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), ());
+        q.pop();
+        q.push(Cycle(5), ());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Cycle(1), ());
+        q.push(Cycle(2), ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(9), ());
+        assert_eq!(q.peek_time(), Some(Cycle(9)));
+        assert_eq!(q.now(), Cycle::ZERO);
+    }
+
+    #[test]
+    fn interleaved_push_pop_remains_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(1), 1);
+        q.push(Cycle(100), 100);
+        assert_eq!(q.pop(), Some((Cycle(1), 1)));
+        q.push(Cycle(50), 50);
+        q.push(Cycle(2), 2);
+        assert_eq!(q.pop(), Some((Cycle(2), 2)));
+        assert_eq!(q.pop(), Some((Cycle(50), 50)));
+        assert_eq!(q.pop(), Some((Cycle(100), 100)));
+    }
+}

@@ -1,0 +1,454 @@
+//! Simulation statistics: counters, histograms, and confidence intervals.
+//!
+//! The paper reports 95 % confidence intervals obtained by pseudo-randomly
+//! perturbing each simulation (§6.1, citing Alameldeen & Wood). [`SampleSet`]
+//! implements the matching Student-t interval over per-seed observations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use ltse_sim::stats::Counter;
+///
+/// let mut commits = Counter::new();
+/// commits.add(3);
+/// commits.inc();
+/// assert_eq!(commits.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running summary of a stream of `u64` observations: count, sum, mean, min,
+/// max. Used for read/write-set sizes (paper Table 2) among other things.
+///
+/// ```
+/// use ltse_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [8, 30, 4] { s.record(v); }
+/// assert_eq!(s.max(), Some(30));
+/// assert_eq!(s.min(), Some(4));
+/// assert!((s.mean().unwrap() - 14.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean, or `None` if no observations were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Maximum, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Minimum, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A sparse histogram over `u64` keys (e.g. read-set size distribution).
+///
+/// ```
+/// use ltse_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(2);
+/// h.record(2);
+/// h.record(550);
+/// assert_eq!(h.count_of(2), 2);
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.percentile(50), Some(2));
+/// assert_eq!(h.percentile(100), Some(550));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation of `v`.
+    pub fn record(&mut self, v: u64) {
+        *self.buckets.entry(v).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count recorded for exactly `v`.
+    pub fn count_of(&self, v: u64) -> u64 {
+        self.buckets.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `p`-th percentile (0–100) using the nearest-rank method, or
+    /// `None` if the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p > 100`.
+    pub fn percentile(&self, p: u8) -> Option<u64> {
+        assert!(p <= 100, "percentile must be 0..=100");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p as u64) * self.total).div_ceil(100).max(1);
+        let mut seen = 0;
+        for (&v, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(v);
+            }
+        }
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// Iterates over `(value, count)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&v, &n)| (v, n))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, n) in other.iter() {
+            *self.buckets.entry(v).or_insert(0) += n;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Two-sided 95 % Student-t critical values for n-1 degrees of freedom,
+/// n = 2..=30. (For n > 30 the normal approximation 1.96 is used.)
+const T_95: [f64; 29] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045,
+];
+
+/// A set of per-seed observations from which a mean and a 95 % confidence
+/// interval are computed — the paper's multi-run perturbation methodology.
+///
+/// ```
+/// use ltse_sim::stats::SampleSet;
+///
+/// let s: SampleSet = [10.0, 11.0, 9.0, 10.5, 9.5].into_iter().collect();
+/// let (mean, half) = s.mean_ci95();
+/// assert!((mean - 10.0).abs() < 1e-9);
+/// assert!(half > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+}
+
+impl SampleSet {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        SampleSet::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.samples.is_empty(), "mean of empty sample set");
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Unbiased sample standard deviation (zero for fewer than two samples).
+    pub fn stddev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// `(mean, half_width)` of the two-sided 95 % confidence interval using
+    /// Student's t distribution. The half width is zero for a single sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn mean_ci95(&self) -> (f64, f64) {
+        let n = self.samples.len();
+        let mean = self.mean();
+        if n < 2 {
+            return (mean, 0.0);
+        }
+        let t = if n <= 30 { T_95[n - 2] } else { 1.96 };
+        let half = t * self.stddev() / (n as f64).sqrt();
+        (mean, half)
+    }
+
+    /// Read-only view of the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl FromIterator<f64> for SampleSet {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        SampleSet {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for SampleSet {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        for v in [5, 1, 9, 3] {
+            s.record(v);
+        }
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(9));
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 18);
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = Summary::new();
+        a.record(10);
+        let mut b = Summary::new();
+        b.record(1);
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(20));
+
+        let mut empty = Summary::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1), Some(1));
+        assert_eq!(h.percentile(50), Some(50));
+        assert_eq!(h.percentile(100), Some(100));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50), None);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record(1);
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count_of(1), 2);
+        assert_eq!(a.percentile(100), Some(9));
+    }
+
+    #[test]
+    fn histogram_iter_sorted() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(1);
+        h.record(5);
+        let pairs: Vec<_> = h.iter().collect();
+        assert_eq!(pairs, vec![(1, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn ci_single_sample_zero_width() {
+        let s: SampleSet = [4.2].into_iter().collect();
+        assert_eq!(s.mean_ci95(), (4.2, 0.0));
+    }
+
+    #[test]
+    fn ci_known_value() {
+        // n=5, sd=1, mean=0 → half width = 2.776 / sqrt(5) ≈ 1.2414
+        let s: SampleSet = [-1.0, -1.0, 0.0, 1.0, 1.0].into_iter().collect();
+        let (mean, half) = s.mean_ci95();
+        assert!(mean.abs() < 1e-12);
+        let sd = s.stddev();
+        let expect = 2.776 * sd / 5f64.sqrt();
+        assert!((half - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_large_n_uses_normal() {
+        let s: SampleSet = (0..100).map(|i| (i % 2) as f64).collect();
+        let (_, half) = s.mean_ci95();
+        let expect = 1.96 * s.stddev() / 10.0;
+        assert!((half - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_samples_zero_stddev() {
+        let s: SampleSet = [3.0; 10].into_iter().collect();
+        assert_eq!(s.stddev(), 0.0);
+        let (m, h) = s.mean_ci95();
+        assert_eq!(m, 3.0);
+        assert_eq!(h, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn mean_of_empty_panics() {
+        SampleSet::new().mean();
+    }
+}

@@ -1,0 +1,194 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, measured in processor cycles.
+///
+/// The paper's system model clocks cores at 5 GHz (Table 1); all latencies in
+/// this workspace are expressed in core cycles. `Cycle` is a transparent
+/// newtype over `u64` so arithmetic stays explicit and units can never be
+/// confused with, say, event sequence numbers.
+///
+/// # Example
+///
+/// ```
+/// use ltse_sim::Cycle;
+///
+/// let start = Cycle(100);
+/// let latency = Cycle(34); // an L2 hit in the paper's Table 1
+/// assert_eq!(start + latency, Cycle(134));
+/// assert_eq!((start + latency) - start, Cycle(34));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero point of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable time; useful as an "infinitely far away"
+    /// sentinel for deadline tracking.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    ///
+    /// ```
+    /// # use ltse_sim::Cycle;
+    /// assert_eq!(Cycle(42).as_u64(), 42);
+    /// ```
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, clamped at zero.
+    ///
+    /// ```
+    /// # use ltse_sim::Cycle;
+    /// assert_eq!(Cycle(5).saturating_sub(Cycle(10)), Cycle(0));
+    /// assert_eq!(Cycle(10).saturating_sub(Cycle(4)), Cycle(6));
+    /// ```
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, returning `None` on overflow.
+    ///
+    /// ```
+    /// # use ltse_sim::Cycle;
+    /// assert_eq!(Cycle(1).checked_add(Cycle(2)), Some(Cycle(3)));
+    /// assert_eq!(Cycle::MAX.checked_add(Cycle(1)), None);
+    /// ```
+    #[inline]
+    pub const fn checked_add(self, rhs: Cycle) -> Option<Cycle> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Cycle(v)),
+            None => None,
+        }
+    }
+
+    /// Returns the later of two times.
+    ///
+    /// ```
+    /// # use ltse_sim::Cycle;
+    /// assert_eq!(Cycle(3).max(Cycle(7)), Cycle(7));
+    /// ```
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (cycle counts never go
+    /// backwards); use [`Cycle::saturating_sub`] when underflow is expected.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Cycle(100);
+        let b = Cycle(42);
+        assert_eq!(a + b - b, a);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(7).max(Cycle(3)), Cycle(7));
+        assert_eq!(Cycle(3).max(Cycle(7)), Cycle(7));
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Cycle(12).to_string(), "12 cyc");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Cycle::from(9u64), Cycle(9));
+        assert_eq!(u64::from(Cycle(9)), 9);
+    }
+
+    #[test]
+    fn saturating_and_checked() {
+        assert_eq!(Cycle(1).saturating_sub(Cycle(2)), Cycle::ZERO);
+        assert_eq!(Cycle::MAX.checked_add(Cycle(1)), None);
+        assert_eq!(Cycle(2).checked_add(Cycle(3)), Some(Cycle(5)));
+    }
+}

@@ -1,0 +1,162 @@
+//! A bounded event-trace ring buffer for simulator debugging.
+//!
+//! Transactional-memory bugs are interleaving bugs: when an invariant
+//! breaks, the last few thousand protocol events are what you need. A
+//! [`TraceBuffer`] keeps exactly that — bounded, allocation-light, and
+//! renderable — without the simulator paying anything when tracing is off
+//! (hold it in an `Option`).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::Cycle;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time of the event.
+    pub at: Cycle,
+    /// A short static tag ("BEGIN", "COMMIT", "NACK", …) for filtering.
+    pub tag: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10}] {:<8} {}", self.at.as_u64(), self.tag, self.detail)
+    }
+}
+
+/// A fixed-capacity ring of [`TraceEntry`]s: pushing beyond capacity drops
+/// the oldest entry.
+///
+/// ```
+/// use ltse_sim::{trace::TraceBuffer, Cycle};
+///
+/// let mut t = TraceBuffer::new(2);
+/// t.push(Cycle(1), "A", "first".into());
+/// t.push(Cycle(2), "B", "second".into());
+/// t.push(Cycle(3), "C", "third".into()); // evicts "A"
+/// assert_eq!(t.len(), 2);
+/// assert!(t.dump().contains("second"));
+/// assert!(!t.dump().contains("first"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer keeping the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event.
+    pub fn push(&mut self, at: Cycle, tag: &'static str, detail: String) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { at, tag, detail });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Events dropped (overwritten) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Retained events with a given tag.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.tag == tag)
+    }
+
+    /// Renders the retained events, oldest first, one per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("… {} earlier events dropped …\n", self.dropped));
+        }
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..10u64 {
+            t.push(Cycle(i), "T", format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let tags: Vec<&str> = t.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(tags, vec!["e7", "e8", "e9"]);
+        assert!(t.dump().starts_with("… 7 earlier events dropped"));
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = TraceBuffer::new(0);
+        t.push(Cycle(1), "X", "gone".into());
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn tag_filter() {
+        let mut t = TraceBuffer::new(10);
+        t.push(Cycle(1), "NACK", "a".into());
+        t.push(Cycle(2), "COMMIT", "b".into());
+        t.push(Cycle(3), "NACK", "c".into());
+        assert_eq!(t.with_tag("NACK").count(), 2);
+        assert_eq!(t.with_tag("COMMIT").count(), 1);
+        assert_eq!(t.with_tag("ABORT").count(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEntry {
+            at: Cycle(42),
+            tag: "BEGIN",
+            detail: "tid=3".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("BEGIN"));
+        assert!(s.contains("tid=3"));
+    }
+}

@@ -1,0 +1,154 @@
+//! The log filter: a small array of recently logged blocks.
+//!
+//! Paper §2, "Eager Version Management": LogTM reused the in-cache W bit to
+//! suppress redundant logging, but that doesn't work with signatures (a
+//! false positive in the write signature would skip a *required* log write,
+//! making undo impossible). LogTM-SE instead keeps "an array of recently
+//! logged blocks for each thread context … Much like a TLB, the array can
+//! be fully associative, set associative, or direct mapped … Because the
+//! filter contains virtual addresses and is a performance optimization not
+//! required for correctness, it is always safe to clear."
+
+use ltse_mem::BlockAddr;
+
+/// A fully-associative LRU array of recently logged block addresses.
+///
+/// `contains → skip logging` is only sound because membership is exact:
+/// a block is in the filter only if it truly was logged this transaction
+/// (entries are only added on log writes and the filter is cleared at
+/// begin/commit/abort/nested-begin/context-switch).
+///
+/// ```
+/// use ltse_mem::BlockAddr;
+/// use ltse_tm::LogFilter;
+///
+/// let mut f = LogFilter::new(2);
+/// assert!(f.note_logged(BlockAddr(1)), "first store must log");
+/// assert!(!f.note_logged(BlockAddr(1)), "second store suppressed");
+/// f.note_logged(BlockAddr(2));
+/// f.note_logged(BlockAddr(3)); // evicts 1 (capacity 2)
+/// assert!(f.note_logged(BlockAddr(1)), "evicted ⇒ re-log (safe, wasteful)");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogFilter {
+    entries: Vec<(BlockAddr, u64)>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl LogFilter {
+    /// Creates a filter with `capacity` entries; a capacity of 0 disables
+    /// filtering (every store logs).
+    pub fn new(capacity: usize) -> Self {
+        LogFilter {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Called on every transactional store to `block`. Returns `true` if
+    /// the block must be logged (filter miss), recording it for next time;
+    /// `false` if logging can be suppressed (filter hit).
+    pub fn note_logged(&mut self, block: BlockAddr) -> bool {
+        self.tick += 1;
+        if self.capacity == 0 {
+            self.misses += 1;
+            return true;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|(b, _)| *b == block) {
+            e.1 = self.tick;
+            self.hits += 1;
+            return false;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .expect("capacity > 0");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push((block, self.tick));
+        true
+    }
+
+    /// Clears the filter (context switch, transaction boundary, nested
+    /// begin). Always safe.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// `(hits, misses)` — a hit is a suppressed (redundant) log write.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the filter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppresses_repeat_stores() {
+        let mut f = LogFilter::new(8);
+        assert!(f.note_logged(BlockAddr(5)));
+        for _ in 0..10 {
+            assert!(!f.note_logged(BlockAddr(5)));
+        }
+        assert_eq!(f.hit_miss(), (10, 1));
+    }
+
+    #[test]
+    fn zero_capacity_always_logs() {
+        let mut f = LogFilter::new(0);
+        assert!(f.note_logged(BlockAddr(1)));
+        assert!(f.note_logged(BlockAddr(1)));
+        assert_eq!(f.hit_miss(), (0, 2));
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut f = LogFilter::new(2);
+        f.note_logged(BlockAddr(1));
+        f.note_logged(BlockAddr(2));
+        f.note_logged(BlockAddr(1)); // touch 1; 2 becomes LRU
+        f.note_logged(BlockAddr(3)); // evicts 2
+        assert!(!f.note_logged(BlockAddr(1)), "1 retained");
+        assert!(f.note_logged(BlockAddr(2)), "2 evicted ⇒ re-log");
+    }
+
+    #[test]
+    fn clear_forces_relogging() {
+        let mut f = LogFilter::new(4);
+        f.note_logged(BlockAddr(9));
+        f.clear();
+        assert!(f.is_empty());
+        assert!(f.note_logged(BlockAddr(9)), "cleared ⇒ must log again");
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut f = LogFilter::new(3);
+        for i in 0..10 {
+            f.note_logged(BlockAddr(i));
+        }
+        assert_eq!(f.len(), 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-thread and aggregate transactional statistics.
+//!
+//! These counters regenerate the paper's Table 2 (transactions, read/write
+//! set sizes) and Table 3 (commits, stalls, aborts, false-positive
+//! percentage). Some counters use `Cell` because they are bumped from inside
+//! `ConflictOracle` checks, which the memory system invokes through a shared
+//! reference.
+
+use std::cell::Cell;
+
+use ltse_sim::stats::{Histogram, Summary};
+
+/// Read/write-set sizes of one committed transaction (exact, from the
+/// shadow sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxSetSizes {
+    /// Distinct blocks read.
+    pub read_blocks: u64,
+    /// Distinct blocks written.
+    pub write_blocks: u64,
+}
+
+/// Statistics for one thread (or aggregated over threads).
+#[derive(Debug, Clone, Default)]
+pub struct TmStats {
+    /// Committed outermost transactions.
+    pub commits: u64,
+    /// Aborted transactions (outermost aborts).
+    pub aborts: u64,
+    /// Partial (inner-frame) aborts that did not kill the outer transaction.
+    pub partial_aborts: u64,
+    /// Times a request by this thread was NACKed (the paper's "transaction
+    /// stalls").
+    pub stalls: u64,
+    /// Stalls caused by the *other SMT context on the same core* (conflicts
+    /// the coherence protocol never sees, §2).
+    pub sibling_stalls: u64,
+    /// Conflicts *this* thread's signature reported against others, judged
+    /// real by the shadow sets.
+    pub true_conflicts_signalled: Cell<u64>,
+    /// Conflicts this thread's signature reported against others that were
+    /// pure aliasing (Table 3 false positives).
+    pub false_conflicts_signalled: Cell<u64>,
+    /// Conflicts reported by the summary signature, real.
+    pub summary_true_conflicts: Cell<u64>,
+    /// Conflicts reported by the summary signature, false positives.
+    pub summary_false_conflicts: Cell<u64>,
+    /// Undo records written (log writes that actually happened).
+    pub log_writes: u64,
+    /// Redundant log writes suppressed by the log filter.
+    pub log_writes_suppressed: u64,
+    /// Cycles spent inside transactions that ultimately aborted.
+    pub wasted_cycles: u64,
+    /// Distribution of committed read-set sizes (Table 2 "Read Avg/Max").
+    pub read_set: Summary,
+    /// Distribution of committed write-set sizes (Table 2 "Write Avg/Max").
+    pub write_set: Summary,
+    /// Full histogram of committed read-set sizes (percentile analysis of
+    /// the skewed tails the paper highlights in §6.3).
+    pub read_set_hist: Histogram,
+    /// Full histogram of committed write-set sizes.
+    pub write_set_hist: Histogram,
+    /// Peak undo-log footprint in 64-bit words over any single transaction
+    /// (the paper's logs are unbounded virtual memory; this is how much was
+    /// actually used).
+    pub log_high_water_words: u64,
+    /// Completed units of work (workload-defined; Table 2 "Units").
+    pub work_units: u64,
+    /// Escape actions entered (non-transactional windows, §6.2).
+    pub escapes: u64,
+}
+
+impl TmStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        TmStats::default()
+    }
+
+    /// Total conflicts this thread's signatures signalled (true + false).
+    pub fn conflicts_signalled(&self) -> u64 {
+        self.true_conflicts_signalled.get() + self.false_conflicts_signalled.get()
+    }
+
+    /// The paper's Table 3 "False Positive %" for conflicts this thread
+    /// signalled (`None` when it signalled none).
+    pub fn false_positive_pct(&self) -> Option<f64> {
+        let total = self.conflicts_signalled();
+        (total > 0)
+            .then(|| 100.0 * self.false_conflicts_signalled.get() as f64 / total as f64)
+    }
+
+    /// Merges another thread's stats into this aggregate.
+    pub fn merge(&mut self, other: &TmStats) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.partial_aborts += other.partial_aborts;
+        self.stalls += other.stalls;
+        self.sibling_stalls += other.sibling_stalls;
+        self.true_conflicts_signalled
+            .set(self.true_conflicts_signalled.get() + other.true_conflicts_signalled.get());
+        self.false_conflicts_signalled
+            .set(self.false_conflicts_signalled.get() + other.false_conflicts_signalled.get());
+        self.summary_true_conflicts
+            .set(self.summary_true_conflicts.get() + other.summary_true_conflicts.get());
+        self.summary_false_conflicts
+            .set(self.summary_false_conflicts.get() + other.summary_false_conflicts.get());
+        self.log_writes += other.log_writes;
+        self.log_writes_suppressed += other.log_writes_suppressed;
+        self.wasted_cycles += other.wasted_cycles;
+        self.read_set.merge(&other.read_set);
+        self.write_set.merge(&other.write_set);
+        self.read_set_hist.merge(&other.read_set_hist);
+        self.write_set_hist.merge(&other.write_set_hist);
+        self.log_high_water_words = self.log_high_water_words.max(other.log_high_water_words);
+        self.work_units += other.work_units;
+        self.escapes += other.escapes;
+    }
+
+    /// Records a committed transaction's exact set sizes.
+    pub fn record_commit_sets(&mut self, sizes: TxSetSizes) {
+        self.read_set.record(sizes.read_blocks);
+        self.write_set.record(sizes.write_blocks);
+        self.read_set_hist.record(sizes.read_blocks);
+        self.write_set_hist.record(sizes.write_blocks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn false_positive_pct() {
+        let s = TmStats::new();
+        assert_eq!(s.false_positive_pct(), None);
+        s.true_conflicts_signalled.set(3);
+        s.false_conflicts_signalled.set(1);
+        assert!((s.false_positive_pct().unwrap() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = TmStats::new();
+        a.commits = 1;
+        a.record_commit_sets(TxSetSizes {
+            read_blocks: 10,
+            write_blocks: 5,
+        });
+        let mut b = TmStats::new();
+        b.commits = 2;
+        b.stalls = 7;
+        b.false_conflicts_signalled.set(4);
+        b.record_commit_sets(TxSetSizes {
+            read_blocks: 30,
+            write_blocks: 1,
+        });
+        a.merge(&b);
+        assert_eq!(a.commits, 3);
+        assert_eq!(a.stalls, 7);
+        assert_eq!(a.false_conflicts_signalled.get(), 4);
+        assert_eq!(a.read_set.max(), Some(30));
+        assert_eq!(a.write_set.max(), Some(5));
+        assert_eq!(a.read_set.count(), 2);
+        assert_eq!(a.read_set_hist.total(), 2);
+        assert_eq!(a.read_set_hist.percentile(100), Some(30));
+    }
+}

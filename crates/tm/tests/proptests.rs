@@ -1,0 +1,186 @@
+//! Model-based property tests for eager version management: arbitrary
+//! sequences of nested begins, transactional stores, commits, and aborts
+//! must leave memory exactly as a snapshot-stack model predicts.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use ltse_mem::{Asid, BlockAddr, WordAddr, WORDS_PER_BLOCK};
+use ltse_sig::{SigOp, SignatureKind};
+use ltse_sim::Cycle;
+use ltse_tm::{NestKind, ThreadTmState, TmConfig};
+
+/// The operations a fuzzed transaction script can perform.
+#[derive(Debug, Clone)]
+enum Step {
+    Begin(bool), // open?
+    Store { block: u64, value: u64 },
+    Commit,
+    AbortInner,
+    AbortAll,
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            2 => any::<bool>().prop_map(Step::Begin),
+            5 => (0u64..12, 1u64..1_000_000).prop_map(|(block, value)| Step::Store { block, value }),
+            3 => Just(Step::Commit),
+            1 => Just(Step::AbortInner),
+            1 => Just(Step::AbortAll),
+        ],
+        1..60,
+    )
+}
+
+/// A reference model: flat memory plus a stack of (kind, snapshot) frames.
+/// A closed commit merges (parent keeps the child's snapshot baseline); an
+/// open commit publishes; aborts restore the frame's snapshot.
+struct Model {
+    memory: HashMap<u64, u64>,
+    /// For each live frame: (open?, memory snapshot at its begin).
+    frames: Vec<(bool, HashMap<u64, u64>)>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model {
+            memory: HashMap::new(),
+            frames: Vec::new(),
+        }
+    }
+}
+
+fn read_block(memory: &HashMap<u64, u64>, block: u64) -> [u64; WORDS_PER_BLOCK as usize] {
+    let base = BlockAddr(block).first_word().as_u64();
+    std::array::from_fn(|i| memory.get(&(base + i as u64)).copied().unwrap_or(0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn log_matches_snapshot_model(script in steps(), kind_sel in 0usize..3) {
+        let kind = [SignatureKind::Perfect, SignatureKind::paper_bs_2kb(), SignatureKind::paper_bs_64()][kind_sel];
+        let config = TmConfig::default_with(kind);
+        let mut tm = ThreadTmState::new(0, Asid(0), &config, WordAddr(1 << 44), 7);
+        let mut model = Model::new();
+        let mut now = 0u64;
+
+        for step in script {
+            now += 10;
+            match step {
+                Step::Begin(open) => {
+                    let kind = if open && !model.frames.is_empty() {
+                        NestKind::Open
+                    } else {
+                        NestKind::Closed
+                    };
+                    tm.begin(kind, Cycle(now));
+                    model.frames.push((kind == NestKind::Open, model.memory.clone()));
+                }
+                Step::Store { block, value } => {
+                    if model.frames.is_empty() {
+                        continue; // scripts only store transactionally
+                    }
+                    // Open-nesting contract: an open transaction publishes
+                    // its writes permanently, so it must not touch data any
+                    // frame *outside its own open lineage* holds undo
+                    // records for (such an abort would clobber the
+                    // published values — true of the real hardware too,
+                    // which is why open nesting requires disjoint data).
+                    // The fuzzer honours the contract by giving each
+                    // open-nesting level its own block range.
+                    let open_depth = model.frames.iter().filter(|(open, _)| *open).count() as u64;
+                    let block = block + 64 * open_depth;
+                    tm.record_access(SigOp::Write, BlockAddr(block));
+                    let memory = &model.memory;
+                    tm.log_store_if_needed(BlockAddr(block), || read_block(memory, block));
+                    let base = BlockAddr(block).first_word().as_u64();
+                    model.memory.insert(base, value); // write word 0 in place
+                }
+                Step::Commit => {
+                    if model.frames.is_empty() {
+                        continue;
+                    }
+                    tm.commit(&config, Cycle(now));
+                    let (open, snapshot) = model.frames.pop().expect("frame");
+                    if open {
+                        // An open commit publishes the child's writes: no
+                        // ancestor abort may undo them, so fold the child's
+                        // diff into every surviving rollback point.
+                        let mut diff: Vec<(u64, Option<u64>)> = Vec::new();
+                        for (addr, v) in &model.memory {
+                            if snapshot.get(addr) != Some(v) {
+                                diff.push((*addr, Some(*v)));
+                            }
+                        }
+                        for addr in snapshot.keys() {
+                            if !model.memory.contains_key(addr) {
+                                diff.push((*addr, None));
+                            }
+                        }
+                        for (_, frame_snapshot) in model.frames.iter_mut() {
+                            for (addr, v) in &diff {
+                                match v {
+                                    Some(v) => {
+                                        frame_snapshot.insert(*addr, *v);
+                                    }
+                                    None => {
+                                        frame_snapshot.remove(addr);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Step::AbortInner => {
+                    if model.frames.len() < 2 {
+                        continue;
+                    }
+                    let mut restores = Vec::new();
+                    tm.abort_innermost(&config, &mut |base, old| restores.push((base, *old)));
+                    let (_, snapshot) = model.frames.pop().expect("frame");
+                    apply_restores(&mut model.memory, &restores);
+                    prop_assert_eq!(&model.memory, &snapshot,
+                        "partial abort must restore the inner begin's snapshot");
+                }
+                Step::AbortAll => {
+                    if model.frames.is_empty() {
+                        continue;
+                    }
+                    let mut restores = Vec::new();
+                    tm.abort_all(&config, Cycle(now), &mut |base, old| restores.push((base, *old)));
+                    // The correct post-state: the OUTERMOST frame's begin
+                    // snapshot, except that open-committed children along the
+                    // way are permanent. Open commits pop their frames at
+                    // commit time, so any still-live frames are uncommitted:
+                    // full abort restores the oldest live snapshot.
+                    let (_, oldest) = model.frames.first().cloned().expect("frame");
+                    model.frames.clear();
+                    apply_restores(&mut model.memory, &restores);
+                    prop_assert_eq!(&model.memory, &oldest,
+                        "full abort must restore the outermost begin's snapshot");
+                }
+            }
+
+            // Invariants that must hold continuously.
+            prop_assert_eq!(tm.depth(), model.frames.len());
+            prop_assert_eq!(tm.in_tx(), !model.frames.is_empty());
+        }
+    }
+}
+
+fn apply_restores(memory: &mut HashMap<u64, u64>, restores: &[(WordAddr, [u64; 8])]) {
+    for (base, old) in restores {
+        for (i, w) in old.iter().enumerate() {
+            let addr = base.as_u64() + i as u64;
+            if *w == 0 {
+                memory.remove(&addr);
+            } else {
+                memory.insert(addr, *w);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Small distribution helpers for footprint calibration.
+
+use ltse_sim::rng::Xoshiro256StarStar;
+
+/// A clamped geometric draw with approximately the given mean: values start
+/// at 1, have a long tail, and are clamped to `max`. This matches the
+/// paper's observation that read/write-set distributions are "highly
+/// skewed" (§6.3): small averages with rare large outliers.
+pub(crate) fn clamped_geo(rng: &mut Xoshiro256StarStar, mean: f64, max: u64) -> u64 {
+    debug_assert!(mean >= 1.0);
+    let p = 1.0 / mean;
+    let mut v = 1u64;
+    while v < max && !rng.gen_bool(p) {
+        v += 1;
+    }
+    v
+}
+
+/// Uniform draw in `[lo, hi]` inclusive.
+pub(crate) fn uniform_incl(rng: &mut Xoshiro256StarStar, lo: u64, hi: u64) -> u64 {
+    rng.gen_range(lo, hi + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_approximately_right() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| clamped_geo(&mut rng, 8.0, 1_000)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 8.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn geo_respects_clamp() {
+        let mut rng = Xoshiro256StarStar::new(4);
+        for _ in 0..10_000 {
+            assert!(clamped_geo(&mut rng, 8.0, 30) <= 30);
+        }
+    }
+
+    #[test]
+    fn uniform_incl_covers_endpoints() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            match uniform_incl(&mut rng, 2, 4) {
+                2 => lo_seen = true,
+                4 => hi_seen = true,
+                3 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}

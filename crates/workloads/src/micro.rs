@@ -1,0 +1,240 @@
+//! Microbenchmark section sources for tests and ablation studies.
+
+use logtm_se::WordAddr;
+use ltse_sim::rng::Xoshiro256StarStar;
+
+use crate::driver::{BodyOp, Section, SectionSource};
+
+/// The classic contended shared counter: every section reads and writes one
+/// hot block. Maximal conflict probability; the simplest smoke test.
+#[derive(Debug, Clone)]
+pub struct SharedCounter {
+    counter: WordAddr,
+    lock: WordAddr,
+    remaining: u64,
+    think: u64,
+}
+
+impl SharedCounter {
+    /// `remaining` increments against the counter at `counter`, guarded by
+    /// the lock word at `lock` in lock mode, with `think` cycles between
+    /// sections.
+    pub fn new(counter: WordAddr, lock: WordAddr, remaining: u64, think: u64) -> Self {
+        SharedCounter {
+            counter,
+            lock,
+            remaining,
+            think,
+        }
+    }
+}
+
+impl SectionSource for SharedCounter {
+    fn next_section(&mut self, _rng: &mut Xoshiro256StarStar) -> Option<Section> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(Section {
+            think: self.think,
+            lock: self.lock,
+            body: vec![BodyOp::Read(self.counter), BodyOp::Write(self.counter)],
+            unit_done: true,
+            barrier_after: None,
+        })
+    }
+}
+
+/// Touches one hot block (atomic RMW) plus a stride of cold blocks each
+/// section — designed to blow out an L1 and exercise victimization/sticky
+/// paths.
+#[derive(Debug, Clone)]
+pub struct HotColdArray {
+    hot: WordAddr,
+    cold_base: WordAddr,
+    cold_blocks: u64,
+    reads_per_section: u64,
+    lock: WordAddr,
+    remaining: u64,
+    cursor: u64,
+}
+
+impl HotColdArray {
+    /// `remaining` sections, each reading `reads_per_section` sequential
+    /// cold blocks starting at `cold_base` (wrapping after `cold_blocks`)
+    /// plus a read-modify-write of `hot`.
+    pub fn new(
+        hot: WordAddr,
+        cold_base: WordAddr,
+        cold_blocks: u64,
+        reads_per_section: u64,
+        lock: WordAddr,
+        remaining: u64,
+    ) -> Self {
+        HotColdArray {
+            hot,
+            cold_base,
+            cold_blocks,
+            reads_per_section,
+            lock,
+            remaining,
+            cursor: 0,
+        }
+    }
+}
+
+impl SectionSource for HotColdArray {
+    fn next_section(&mut self, _rng: &mut Xoshiro256StarStar) -> Option<Section> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let mut body = vec![BodyOp::Update(self.hot)];
+        for _ in 0..self.reads_per_section {
+            let block_off = self.cursor % self.cold_blocks;
+            self.cursor += 1;
+            body.push(BodyOp::Read(WordAddr(
+                self.cold_base.as_u64() + block_off * 8,
+            )));
+        }
+        Some(Section {
+            think: 50,
+            lock: self.lock,
+            body,
+            unit_done: true,
+            barrier_after: None,
+        })
+    }
+}
+
+/// Writes the same few blocks many times per section — the redundant-store
+/// pattern the log filter exists to suppress (paper §2, "it is correct, but
+/// wasteful, to write the same block to the log more than once").
+#[derive(Debug, Clone)]
+pub struct RepeatedWriter {
+    base: WordAddr,
+    blocks: u64,
+    writes_per_section: u64,
+    lock: WordAddr,
+    remaining: u64,
+}
+
+impl RepeatedWriter {
+    /// `remaining` sections, each performing `writes_per_section` stores
+    /// cycling over `blocks` consecutive blocks at `base`.
+    pub fn new(
+        base: WordAddr,
+        blocks: u64,
+        writes_per_section: u64,
+        lock: WordAddr,
+        remaining: u64,
+    ) -> Self {
+        RepeatedWriter {
+            base,
+            blocks,
+            writes_per_section,
+            lock,
+            remaining,
+        }
+    }
+}
+
+impl SectionSource for RepeatedWriter {
+    fn next_section(&mut self, _rng: &mut Xoshiro256StarStar) -> Option<Section> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let body = (0..self.writes_per_section)
+            .map(|i| BodyOp::Write(WordAddr(self.base.as_u64() + (i % self.blocks) * 8)))
+            .collect();
+        Some(Section {
+            think: 100,
+            lock: self.lock,
+            body,
+            unit_done: true,
+            barrier_after: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{CsProgram, SyncMode};
+    use logtm_se::{SignatureKind, SystemBuilder};
+
+    #[test]
+    fn repeated_writer_exercises_log_filter() {
+        // 24 writes over 4 blocks: with a big filter only 4 undo records
+        // per transaction; with no filter all 24 are logged.
+        let run = |entries: usize| {
+            let mut sys = SystemBuilder::small_for_tests()
+                .signature(SignatureKind::Perfect)
+                .log_filter_entries(entries)
+                .seed(6)
+                .build();
+            sys.add_thread(Box::new(CsProgram::new(
+                RepeatedWriter::new(WordAddr(0), 4, 24, WordAddr(1 << 12), 5),
+                SyncMode::Tm,
+                1,
+            )));
+            sys.run().unwrap()
+        };
+        let with = run(16);
+        let without = run(0);
+        assert_eq!(with.tm.log_writes, 5 * 4);
+        assert_eq!(with.tm.log_writes_suppressed, 5 * 20);
+        assert_eq!(without.tm.log_writes, 5 * 24);
+        assert_eq!(without.tm.log_writes_suppressed, 0);
+    }
+
+    #[test]
+    fn shared_counter_source_terminates() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut src = SharedCounter::new(WordAddr(0), WordAddr(64), 3, 10);
+        assert!(src.next_section(&mut rng).is_some());
+        assert!(src.next_section(&mut rng).is_some());
+        assert!(src.next_section(&mut rng).is_some());
+        assert!(src.next_section(&mut rng).is_none());
+    }
+
+    #[test]
+    fn hot_cold_reads_grow_read_set() {
+        let mut sys = SystemBuilder::small_for_tests()
+            .signature(SignatureKind::Perfect)
+            .seed(1)
+            .build();
+        sys.add_thread(Box::new(CsProgram::new(
+            HotColdArray::new(WordAddr(0), WordAddr(1 << 16), 64, 12, WordAddr(64), 5),
+            SyncMode::Tm,
+            1,
+        )));
+        let r = sys.run().unwrap();
+        assert_eq!(r.tm.commits, 5);
+        assert_eq!(r.tm.read_set.max(), Some(12), "12 cold blocks");
+        assert_eq!(r.tm.write_set.max(), Some(1), "the hot RMW block");
+        // 12 distinct cold blocks + hot won't fit the 8-block test L1:
+        // victimization must occur and stay harmless.
+        assert!(r.mem.l1_tx_evictions_exact.get() > 0);
+    }
+
+    #[test]
+    fn hot_cold_wraps_cursor() {
+        let mut rng = Xoshiro256StarStar::new(2);
+        let mut src = HotColdArray::new(WordAddr(0), WordAddr(800), 4, 6, WordAddr(64), 1);
+        let s = src.next_section(&mut rng).unwrap();
+        // 6 reads over 4 cold blocks wrap: addresses repeat mod 4 blocks.
+        // (body[0] is the hot-block RMW; reads follow.)
+        let addrs: Vec<u64> = s
+            .body
+            .iter()
+            .filter_map(|b| match b {
+                BodyOp::Read(a) if a.as_u64() >= 800 => Some(a.as_u64()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(addrs.len(), 6);
+        assert_eq!(addrs[0], addrs[4]);
+    }
+}

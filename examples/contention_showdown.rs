@@ -1,0 +1,38 @@
+//! Transactions vs. locks on the paper's workload suite (a miniature
+//! Figure 4): run each benchmark in both synchronization modes and print
+//! the speedup.
+//!
+//! Run with: `cargo run --release --example contention_showdown`
+
+use logtm_se::SignatureKind;
+use ltse_workloads::{run_benchmark, Benchmark, RunParams, SyncMode};
+
+fn main() {
+    println!("Miniature Figure 4: LogTM-SE (2 Kb BS signatures) vs. TATAS locks");
+    println!(
+        "{:<12} {:>12} {:>12} {:>9} {:>8} {:>8}",
+        "Benchmark", "LockCycles", "TmCycles", "Speedup", "Stalls", "Aborts"
+    );
+    for benchmark in Benchmark::all() {
+        let mut params = RunParams::paper(benchmark, SyncMode::Lock, SignatureKind::paper_bs_2kb());
+        params.threads = 16;
+        params.units_per_thread = 12;
+        params.seed = 5;
+        let lock = run_benchmark(&params).expect("lock run completes");
+
+        params.mode = SyncMode::Tm;
+        let tm = run_benchmark(&params).expect("tm run completes");
+
+        println!(
+            "{:<12} {:>12} {:>12} {:>8.2}x {:>8} {:>8}",
+            benchmark.name(),
+            lock.cycles.as_u64(),
+            tm.cycles.as_u64(),
+            tm.throughput_per_kcycle() / lock.throughput_per_kcycle(),
+            tm.tm.stalls,
+            tm.tm.aborts,
+        );
+    }
+    println!("\nExpected shape (paper Figure 4): BerkeleyDB and Raytrace favour");
+    println!("transactions; Cholesky, Radiosity, and Mp3d are near parity.");
+}

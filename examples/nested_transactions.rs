@@ -1,0 +1,114 @@
+//! Open and closed nesting (paper §3.2): a composed "money transfer with an
+//! audit log" where the audit-log append is an open-nested transaction that
+//! commits (and releases isolation) before the outer transfer does.
+//!
+//! Run with: `cargo run --example nested_transactions`
+
+use logtm_se::{Op, ProgCtx, SignatureKind, SystemBuilder, ThreadProgram, WordAddr};
+
+const ACCOUNT_A: WordAddr = WordAddr(0);
+const ACCOUNT_B: WordAddr = WordAddr(8);
+/// The shared audit-log cursor every transfer appends through — with
+/// *closed* nesting this block would serialize all transfers for their
+/// whole duration; open nesting releases it right after the append.
+const AUDIT_CURSOR: WordAddr = WordAddr(16);
+
+struct Transfer {
+    remaining: u32,
+    step: u8,
+    balance_a: u64,
+}
+
+impl ThreadProgram for Transfer {
+    fn next_op(&mut self, t: &mut ProgCtx) -> Op {
+        match self.step {
+            0 => {
+                if self.remaining == 0 {
+                    return Op::Done;
+                }
+                self.step = 1;
+                Op::TxBegin // outer transfer transaction (closed)
+            }
+            1 => {
+                self.step = 2;
+                Op::Read(ACCOUNT_A)
+            }
+            2 => {
+                self.balance_a = t.last_value;
+                self.step = 3;
+                // Audit-log append as an OPEN-nested transaction.
+                Op::TxBeginOpen
+            }
+            3 => {
+                self.step = 4;
+                Op::FetchAdd(AUDIT_CURSOR, 1)
+            }
+            4 => {
+                self.step = 5;
+                Op::TxCommit // open commit: cursor isolation released NOW
+            }
+            5 => {
+                self.step = 6;
+                Op::Write(ACCOUNT_A, self.balance_a.wrapping_sub(1))
+            }
+            6 => {
+                self.step = 7;
+                // Long tail of the outer transaction: with closed nesting
+                // the audit cursor would stay isolated through all of this.
+                Op::Work(300)
+            }
+            7 => {
+                self.step = 8;
+                Op::FetchAdd(ACCOUNT_B, 1)
+            }
+            8 => {
+                self.step = 9;
+                Op::TxCommit // outer commit
+            }
+            _ => {
+                self.step = 0;
+                self.remaining -= 1;
+                Op::WorkUnitDone
+            }
+        }
+    }
+
+    fn on_tx_abort(&mut self, _t: &mut ProgCtx) {
+        self.step = 0;
+    }
+}
+
+fn main() {
+    let mut system = SystemBuilder::paper_default()
+        .signature(SignatureKind::paper_dbs_2kb())
+        .seed(7)
+        .build();
+    for _ in 0..6 {
+        system.add_thread(Box::new(Transfer {
+            remaining: 50,
+            step: 0,
+            balance_a: 0,
+        }));
+    }
+    let report = system.run().expect("simulation completes");
+
+    println!("Open-nested audit log under concurrent transfers");
+    println!("  transfers committed : {}", report.tm.work_units);
+    println!("  audit entries       : {}", system.read_word(AUDIT_CURSOR));
+    println!("  account B           : {}", system.read_word(ACCOUNT_B));
+    println!("  outer+inner commits : {}", report.tm.commits);
+    println!("  aborts              : {}", report.tm.aborts);
+    println!("  stalls              : {}", report.tm.stalls);
+
+    // Every transfer bumped account B exactly once.
+    assert_eq!(system.read_word(ACCOUNT_B), 300);
+    // The audit cursor saw one append per *attempt* that reached it; with
+    // open nesting these commits are permanent even if the outer transfer
+    // later aborted and retried, so cursor >= transfers.
+    assert!(system.read_word(AUDIT_CURSOR) >= 300);
+    println!(
+        "  note: cursor ({}) ≥ transfers (300) because open-nested appends\n\
+         \u{20}       survive outer aborts — the semantics the paper describes",
+        system.read_word(AUDIT_CURSOR)
+    );
+}
