@@ -1,8 +1,9 @@
-//! Criterion bench: the ablation configurations (sticky on/off, log-filter
+//! Timing bench: the ablation configurations (sticky on/off, log-filter
 //! sizes, virtualization pressure), each as one tracked run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use logtm_se::{CoherenceKind, Cycle, SignatureKind, SystemBuilder};
+use logtm_se::{CoherenceKind, ContentionPolicy, Cycle, SignatureKind, SystemBuilder};
+use ltse_bench::experiments::{nesting_ablation, smt_comparison, ExperimentScale};
+use ltse_bench::harness::BenchGroup;
 use ltse_workloads::{run_benchmark, Benchmark, RunParams, SyncMode};
 
 fn base_params(benchmark: Benchmark) -> RunParams {
@@ -21,151 +22,93 @@ fn base_params(benchmark: Benchmark) -> RunParams {
     }
 }
 
-fn bench_sticky(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sticky_ablation");
-    group.sample_size(10);
-    for sticky in [true, false] {
-        group.bench_function(format!("raytrace/sticky={sticky}"), |b| {
-            b.iter(|| {
-                let mut p = base_params(Benchmark::Raytrace);
-                p.sticky = sticky;
-                p.units_per_thread = 8;
-                run_benchmark(&p).expect("run")
-            })
+fn main() {
+    let sticky = BenchGroup::new("sticky_ablation", 10);
+    for on in [true, false] {
+        sticky.case(&format!("raytrace/sticky={on}"), || {
+            let mut p = base_params(Benchmark::Raytrace);
+            p.sticky = on;
+            p.units_per_thread = 8;
+            run_benchmark(&p).expect("run")
         });
     }
-    group.finish();
-}
 
-fn bench_log_filter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("log_filter");
-    group.sample_size(10);
+    let log_filter = BenchGroup::new("log_filter", 10);
     for entries in [0usize, 4, 16, 64] {
-        group.bench_function(format!("berkeleydb/entries={entries}"), |b| {
-            b.iter(|| {
-                let mut p = base_params(Benchmark::BerkeleyDb);
-                p.log_filter_entries = entries;
-                run_benchmark(&p).expect("run")
-            })
+        log_filter.case(&format!("berkeleydb/entries={entries}"), || {
+            let mut p = base_params(Benchmark::BerkeleyDb);
+            p.log_filter_entries = entries;
+            run_benchmark(&p).expect("run")
         });
     }
-    group.finish();
-}
 
-fn bench_virtualization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("virtualization");
-    group.sample_size(10);
+    let virt = BenchGroup::new("virtualization", 10);
     for (label, quantum, defer) in [
         ("defer", Cycle(10_000), true),
         ("no_defer", Cycle(10_000), false),
     ] {
-        group.bench_function(format!("mp3d_oversubscribed/{label}"), |b| {
-            b.iter(|| {
-                let mut system = SystemBuilder::paper_default()
-                    .signature(SignatureKind::paper_bs_2kb())
-                    .seed(4)
-                    .preemption(quantum, defer)
-                    .build();
-                for p in Benchmark::Mp3d.programs(SyncMode::Tm, 12, 3) {
-                    system.add_thread(p);
-                }
-                system.run().expect("run")
-            })
+        virt.case(&format!("mp3d_oversubscribed/{label}"), || {
+            let mut system = SystemBuilder::paper_default()
+                .signature(SignatureKind::paper_bs_2kb())
+                .seed(4)
+                .preemption(quantum, defer)
+                .build();
+            for p in Benchmark::Mp3d.programs(SyncMode::Tm, 12, 3) {
+                system.add_thread(p);
+            }
+            system.run().expect("run")
         });
     }
-    group.finish();
-}
 
-fn bench_coherence_substrates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coherence");
-    group.sample_size(10);
-    for coherence in [CoherenceKind::DirectoryMesi, CoherenceKind::SnoopingMesi] {
-        group.bench_function(format!("mp3d/{coherence}"), |b| {
-            b.iter(|| {
-                let mut p = base_params(Benchmark::Mp3d);
-                p.coherence = coherence;
-                run_benchmark(&p).expect("run")
-            })
+    let coherence = BenchGroup::new("coherence", 10);
+    for kind in [CoherenceKind::DirectoryMesi, CoherenceKind::SnoopingMesi] {
+        coherence.case(&format!("mp3d/{kind}"), || {
+            let mut p = base_params(Benchmark::Mp3d);
+            p.coherence = kind;
+            run_benchmark(&p).expect("run")
         });
     }
-    group.finish();
-}
 
-fn bench_multi_cmp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("multi_cmp");
-    group.sample_size(10);
+    let multi_cmp = BenchGroup::new("multi_cmp", 10);
     for chips in [1u8, 4] {
-        group.bench_function(format!("mp3d/chips={chips}"), |b| {
-            b.iter(|| {
-                let mut system = SystemBuilder::paper_default()
-                    .signature(SignatureKind::paper_bs_2kb())
-                    .chips(chips)
-                    .seed(6)
-                    .build();
-                for p in Benchmark::Mp3d.programs(SyncMode::Tm, 8, 4) {
-                    system.add_thread(p);
-                }
-                system.run().expect("run")
-            })
+        multi_cmp.case(&format!("mp3d/chips={chips}"), || {
+            let mut system = SystemBuilder::paper_default()
+                .signature(SignatureKind::paper_bs_2kb())
+                .chips(chips)
+                .seed(6)
+                .build();
+            for p in Benchmark::Mp3d.programs(SyncMode::Tm, 8, 4) {
+                system.add_thread(p);
+            }
+            system.run().expect("run")
         });
     }
-    group.finish();
-}
 
-fn bench_contention_policies(c: &mut Criterion) {
-    use logtm_se::ContentionPolicy;
-    let mut group = c.benchmark_group("contention");
-    group.sample_size(10);
+    let contention = BenchGroup::new("contention", 10);
     for policy in [
         ContentionPolicy::RequesterStalls,
         ContentionPolicy::SizeMatters,
     ] {
-        group.bench_function(format!("berkeleydb/{policy:?}"), |b| {
-            b.iter(|| {
-                let mut system = SystemBuilder::paper_default()
-                    .signature(SignatureKind::paper_bs_2kb())
-                    .contention(policy)
-                    .seed(7)
-                    .build();
-                for p in Benchmark::BerkeleyDb.programs(SyncMode::Tm, 8, 4) {
-                    system.add_thread(p);
-                }
-                system.run().expect("run")
-            })
+        contention.case(&format!("berkeleydb/{policy:?}"), || {
+            let mut system = SystemBuilder::paper_default()
+                .signature(SignatureKind::paper_bs_2kb())
+                .contention(policy)
+                .seed(7)
+                .build();
+            for p in Benchmark::BerkeleyDb.programs(SyncMode::Tm, 8, 4) {
+                system.add_thread(p);
+            }
+            system.run().expect("run")
         });
     }
-    group.finish();
-}
 
-fn bench_nesting(c: &mut Criterion) {
-    use ltse_bench::experiments::{nesting_ablation, ExperimentScale};
-    let mut group = c.benchmark_group("nesting");
-    group.sample_size(10);
-    group.bench_function("flat_vs_nested", |b| {
-        b.iter(|| nesting_ablation(&ExperimentScale::quick()))
+    let nesting = BenchGroup::new("nesting", 10);
+    nesting.case("flat_vs_nested", || {
+        nesting_ablation(&ExperimentScale::quick()).expect("sweep")
     });
-    group.finish();
-}
 
-fn bench_smt(c: &mut Criterion) {
-    use ltse_bench::experiments::{smt_comparison, ExperimentScale};
-    let mut group = c.benchmark_group("smt");
-    group.sample_size(10);
-    group.bench_function("16x2_vs_32x1", |b| {
-        b.iter(|| smt_comparison(&ExperimentScale::quick()))
+    let smt = BenchGroup::new("smt", 10);
+    smt.case("16x2_vs_32x1", || {
+        smt_comparison(&ExperimentScale::quick()).expect("sweep")
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_sticky,
-    bench_log_filter,
-    bench_virtualization,
-    bench_coherence_substrates,
-    bench_multi_cmp,
-    bench_contention_policies,
-    bench_nesting,
-    bench_smt
-);
-criterion_main!(benches);

@@ -1,58 +1,41 @@
-//! Criterion bench: one sample per Figure 4 cell (benchmark × sync/signature
-//! configuration). Criterion's timings measure the *simulator*; the
+//! Timing bench: one case per Figure 4 cell (benchmark × sync/signature
+//! configuration). The wall-clock timings measure the *simulator*; the
 //! simulated speedups are what `repro figure4` prints — this bench keeps
 //! every cell exercised and regression-tracked.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use logtm_se::{CoherenceKind, SignatureKind};
+use ltse_bench::harness::BenchGroup;
 use ltse_workloads::{run_benchmark, Benchmark, RunParams, SyncMode};
 
-fn bench_figure4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure4");
-    group.sample_size(10);
+fn cell_params(benchmark: Benchmark, mode: SyncMode, signature: SignatureKind) -> RunParams {
+    RunParams {
+        benchmark,
+        mode,
+        signature,
+        threads: 8,
+        units_per_thread: 4,
+        seed: 1,
+        small_machine: false,
+        sticky: true,
+        log_filter_entries: 16,
+        coherence: CoherenceKind::DirectoryMesi,
+        warmup_units: 0,
+    }
+}
+
+fn main() {
+    let group = BenchGroup::new("figure4", 10);
     for benchmark in Benchmark::all() {
         // Lock baseline bar.
-        group.bench_function(format!("{benchmark}/lock"), |b| {
-            b.iter(|| {
-                run_benchmark(&RunParams {
-                    benchmark,
-                    mode: SyncMode::Lock,
-                    signature: SignatureKind::Perfect,
-                    threads: 8,
-                    units_per_thread: 4,
-                    seed: 1,
-                    small_machine: false,
-                    sticky: true,
-                    log_filter_entries: 16,
-                    coherence: CoherenceKind::DirectoryMesi,
-                    warmup_units: 0,
-                })
-                .expect("run")
-            })
+        let p = cell_params(benchmark, SyncMode::Lock, SignatureKind::Perfect);
+        group.case(&format!("{benchmark}/lock"), || {
+            run_benchmark(&p).expect("run")
         });
         for kind in SignatureKind::figure4_set() {
-            group.bench_function(format!("{benchmark}/tm/{}", kind.label()), |b| {
-                b.iter(|| {
-                    run_benchmark(&RunParams {
-                        benchmark,
-                        mode: SyncMode::Tm,
-                        signature: kind,
-                        threads: 8,
-                        units_per_thread: 4,
-                        seed: 1,
-                        small_machine: false,
-                        sticky: true,
-                        log_filter_entries: 16,
-                        coherence: CoherenceKind::DirectoryMesi,
-                        warmup_units: 0,
-                    })
-                    .expect("run")
-                })
+            let p = cell_params(benchmark, SyncMode::Tm, kind);
+            group.case(&format!("{benchmark}/tm/{}", kind.label()), || {
+                run_benchmark(&p).expect("run")
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_figure4);
-criterion_main!(benches);

@@ -1,57 +1,45 @@
-//! Criterion bench: simulator micro-costs — memory-system access paths and
+//! Timing bench: simulator micro-costs — memory-system access paths and
 //! the TM fast paths (begin/commit, logging), the operations LogTM-SE
 //! claims are cheap.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use logtm_se::{SignatureKind, SystemBuilder, WordAddr};
+use ltse_bench::harness::BenchGroup;
 use ltse_mem::{AccessKind, BlockAddr, MemConfig, MemorySystem, NullOracle};
 use ltse_workloads::{CsProgram, SharedCounter, SyncMode};
 
-fn bench_mem_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mem_paths");
-    group.bench_function("l1_hit_loop", |b| {
+fn main() {
+    let mem = BenchGroup::new("mem_paths", 50);
+    mem.case("l1_hit_loop", || {
         let mut m = MemorySystem::new(MemConfig::paper_cmp());
         let ctx = m.config().ctx(0, 0);
         m.access(ctx, AccessKind::Load, BlockAddr(1), &NullOracle);
-        b.iter(|| m.access(ctx, AccessKind::Load, BlockAddr(1), &NullOracle));
+        for _ in 0..4096 {
+            m.access(ctx, AccessKind::Load, BlockAddr(1), &NullOracle);
+        }
+        m.stats().dram_accesses.get()
     });
-    group.bench_function("cold_miss_stream", |b| {
-        b.iter_batched(
-            || MemorySystem::new(MemConfig::paper_cmp()),
-            |mut m| {
-                let ctx = m.config().ctx(0, 0);
-                for i in 0..256u64 {
-                    m.access(ctx, AccessKind::Load, BlockAddr(i * 3), &NullOracle);
-                }
-                m.stats().dram_accesses.get()
-            },
-            BatchSize::SmallInput,
-        )
+    mem.case("cold_miss_stream", || {
+        let mut m = MemorySystem::new(MemConfig::paper_cmp());
+        let ctx = m.config().ctx(0, 0);
+        for i in 0..256u64 {
+            m.access(ctx, AccessKind::Load, BlockAddr(i * 3), &NullOracle);
+        }
+        m.stats().dram_accesses.get()
     });
-    group.finish();
-}
 
-fn bench_tm_fast_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tm_fast_paths");
-    group.sample_size(20);
-    group.bench_function("counter_tx_throughput", |b| {
-        b.iter(|| {
-            let mut sys = SystemBuilder::paper_default()
-                .signature(SignatureKind::paper_bs_2kb())
-                .seed(5)
-                .build();
-            for t in 0..4u64 {
-                sys.add_thread(Box::new(CsProgram::new(
-                    SharedCounter::new(WordAddr(t * 512), WordAddr(1 << 16), 50, 30),
-                    SyncMode::Tm,
-                    t,
-                )));
-            }
-            sys.run().expect("run")
-        })
+    let tm = BenchGroup::new("tm_fast_paths", 20);
+    tm.case("counter_tx_throughput", || {
+        let mut sys = SystemBuilder::paper_default()
+            .signature(SignatureKind::paper_bs_2kb())
+            .seed(5)
+            .build();
+        for t in 0..4u64 {
+            sys.add_thread(Box::new(CsProgram::new(
+                SharedCounter::new(WordAddr(t * 512), WordAddr(1 << 16), 50, 30),
+                SyncMode::Tm,
+                t,
+            )));
+        }
+        sys.run().expect("run")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_mem_paths, bench_tm_fast_paths);
-criterion_main!(benches);

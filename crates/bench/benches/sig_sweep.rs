@@ -1,12 +1,12 @@
-//! Criterion bench: raw signature operation throughput (insert + lookup)
+//! Timing bench: raw signature operation throughput (insert + lookup)
 //! across implementations and sizes — the hardware-cost side of the
 //! signature design space (paper §5, "Signature Design").
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ltse_bench::harness::BenchGroup;
 use ltse_sig::SignatureKind;
 
-fn bench_signature_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sig_ops");
+fn main() {
+    let group = BenchGroup::new("sig_ops", 200);
     let kinds = [
         SignatureKind::Perfect,
         SignatureKind::BitSelect { bits: 64 },
@@ -19,45 +19,28 @@ fn bench_signature_ops(c: &mut Criterion) {
         SignatureKind::Bloom { bits: 2048, k: 4 },
     ];
     for kind in kinds {
-        group.bench_function(format!("insert_lookup/{}", kind.label()), |b| {
-            b.iter_batched(
-                || kind.build(),
-                |mut sig| {
-                    for a in 0..256u64 {
-                        sig.insert(a * 97);
-                    }
-                    let mut hits = 0u32;
-                    for a in 0..256u64 {
-                        if sig.maybe_contains(a * 89) {
-                            hits += 1;
-                        }
-                    }
-                    hits
-                },
-                BatchSize::SmallInput,
-            )
+        group.case(&format!("insert_lookup/{}", kind.label()), || {
+            let mut sig = kind.build();
+            for a in 0..256u64 {
+                sig.insert(a * 97);
+            }
+            let mut hits = 0u32;
+            for a in 0..256u64 {
+                if sig.maybe_contains(a * 89) {
+                    hits += 1;
+                }
+            }
+            hits
         });
-        group.bench_function(format!("save_restore/{}", kind.label()), |b| {
-            b.iter_batched(
-                || {
-                    let mut sig = kind.build();
-                    for a in 0..64u64 {
-                        sig.insert(a * 131);
-                    }
-                    sig
-                },
-                |sig| {
-                    let saved = sig.save();
-                    let mut fresh = kind.build();
-                    fresh.restore(&saved);
-                    fresh.saturation()
-                },
-                BatchSize::SmallInput,
-            )
+        group.case(&format!("save_restore/{}", kind.label()), || {
+            let mut sig = kind.build();
+            for a in 0..64u64 {
+                sig.insert(a * 131);
+            }
+            let saved = sig.save();
+            let mut fresh = kind.build();
+            fresh.restore(&saved);
+            fresh.saturation()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_signature_ops);
-criterion_main!(benches);

@@ -1,14 +1,13 @@
-//! Criterion bench: the Table 3 configurations (Raytrace and BerkeleyDB
+//! Timing bench: the Table 3 configurations (Raytrace and BerkeleyDB
 //! under each signature scheme/size), exercising the false-positive
 //! accounting path end to end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use logtm_se::{CoherenceKind, SignatureKind};
+use ltse_bench::harness::BenchGroup;
 use ltse_workloads::{run_benchmark, Benchmark, RunParams, SyncMode};
 
-fn bench_table3(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
+fn main() {
+    let group = BenchGroup::new("table3", 10);
     let signatures = [
         SignatureKind::Perfect,
         SignatureKind::BitSelect { bits: 2048 },
@@ -21,28 +20,22 @@ fn bench_table3(c: &mut Criterion) {
     ];
     for benchmark in [Benchmark::Raytrace, Benchmark::BerkeleyDb] {
         for kind in signatures {
-            group.bench_function(format!("{benchmark}/{}", kind.label()), |b| {
-                b.iter(|| {
-                    run_benchmark(&RunParams {
-                        benchmark,
-                        mode: SyncMode::Tm,
-                        signature: kind,
-                        threads: 8,
-                        units_per_thread: 4,
-                        seed: 2,
-                        small_machine: false,
-                        sticky: true,
-                        log_filter_entries: 16,
-                        coherence: CoherenceKind::DirectoryMesi,
-                        warmup_units: 0,
-                    })
-                    .expect("run")
-                })
+            let p = RunParams {
+                benchmark,
+                mode: SyncMode::Tm,
+                signature: kind,
+                threads: 8,
+                units_per_thread: 4,
+                seed: 2,
+                small_machine: false,
+                sticky: true,
+                log_filter_entries: 16,
+                coherence: CoherenceKind::DirectoryMesi,
+                warmup_units: 0,
+            };
+            group.case(&format!("{benchmark}/{}", kind.label()), || {
+                run_benchmark(&p).expect("run")
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_table3);
-criterion_main!(benches);

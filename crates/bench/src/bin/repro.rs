@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] <subcommand>
+//! repro [--quick] [--csv] [--jobs N] <subcommand>
 //!
 //! Subcommands:
 //!   table1         System model parameters (paper Table 1)
@@ -26,9 +26,19 @@
 //!
 //! `--quick` runs at reduced scale (for smoke tests); `--csv` emits
 //! machine-readable CSV for `table2`, `figure4`, and `table3`.
+//!
+//! Every experiment fans its independent simulation runs out over a worker
+//! pool. `--jobs N` (or the `LTSE_JOBS` environment variable) sets the
+//! worker count; the default is one worker per available core. Results are
+//! collected in submission order, so **stdout is byte-identical regardless
+//! of worker count**. Wall-clock/throughput lines (inherently
+//! nondeterministic) go to stderr; a run that panics or errors is reported
+//! per label on stderr and flips the exit code to 1 without killing the
+//! other runs of the sweep.
 
 use logtm_se::{MemConfig, SystemBuilder};
 use ltse_bench::experiments::ExperimentScale;
+use ltse_bench::runner::{self, SweepError};
 use ltse_bench::render;
 use ltse_bench::*;
 
@@ -64,47 +74,116 @@ fn table1_text() -> String {
     )
 }
 
+/// Prints a rendered table to stdout, or the sweep's per-run failures to
+/// stderr. Returns whether the experiment succeeded.
+fn emit<T>(result: Result<Vec<T>, SweepError>, render: impl FnOnce(&[T]) -> String) -> bool {
+    match result {
+        Ok(rows) => {
+            print!("{}", render(&rows));
+            true
+        }
+        Err(e) => {
+            eprint!("{e}");
+            false
+        }
+    }
+}
+
+/// Drains the runner's timing registry to stderr (timings are wall-clock
+/// and therefore excluded from the deterministic stdout).
+fn report_timings() {
+    for timing in runner::take_timings() {
+        eprintln!("[timing] {timing}");
+    }
+}
+
+fn parse_jobs(args: &[String]) -> Option<usize> {
+    // Accept `--jobs N` and `--jobs=N`. A missing or non-numeric value is a
+    // usage error, not something to silently ignore.
+    let bad = |v: &str| -> ! {
+        eprintln!("error: --jobs requires a positive integer, got `{v}`");
+        std::process::exit(2);
+    };
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return Some(v.parse().unwrap_or_else(|_| bad(v)));
+        }
+        if a == "--jobs" {
+            let v = args.get(i + 1).unwrap_or_else(|| bad("nothing"));
+            return Some(v.parse().unwrap_or_else(|_| bad(v)));
+        }
+    }
+    None
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
+    let jobs = parse_jobs(&args);
+    runner::set_jobs(jobs);
     let scale = if quick {
         ExperimentScale::quick()
     } else {
         ExperimentScale::full()
     };
+    let mut skip_next = false;
     let cmd = args
         .iter()
-        .find(|a| !a.starts_with("--"))
+        .find(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--jobs" {
+                skip_next = true;
+            }
+            !a.starts_with("--") && !skip_next
+        })
         .map(String::as_str)
         .unwrap_or("all");
 
-    let run_one = |name: &str| match name {
-        "table1" => print!("{}", table1_text()),
-        "table2" if csv => print!("{}", render::csv_table2(&table2(&scale))),
-        "table2" => print!("{}", render::render_table2(&table2(&scale))),
-        "figure4" if csv => print!("{}", render::csv_figure4(&figure4(&scale))),
-        "figure4" => print!("{}", render::render_figure4(&figure4(&scale))),
-        "table3" if csv => print!("{}", render::csv_table3(&table3(&scale))),
-        "table3" => print!("{}", render::render_table3(&table3(&scale))),
-        "victimization" => print!("{}", render::render_victimization(&victimization(&scale))),
-        "table4" => print!("{}", logtm_se::substrates::tm::virt_compare::render_table4()),
-        "sweep" => print!("{}", render::render_sweep(&signature_sweep(&scale))),
-        "sticky" => print!("{}", render::render_sticky(&sticky_ablation(&scale))),
-        "logfilter" => print!("{}", render::render_log_filter(&log_filter_ablation(&scale))),
-        "virt" => print!("{}", render::render_virt(&virtualization_overhead(&scale))),
-        "snooping" => print!("{}", render::render_snooping(&snooping_comparison(&scale))),
-        "policies" => print!("{}", render::render_policies(&contention_policies(&scale))),
-        "multicmp" => print!("{}", render::render_multi_cmp(&multi_cmp_comparison(&scale))),
-        "nesting" => print!("{}", render::render_nesting(&nesting_ablation(&scale))),
-        "smt" => print!("{}", render::render_smt(&smt_comparison(&scale))),
-        other => {
-            eprintln!("unknown subcommand: {other}");
-            eprintln!("known: table1 table2 figure4 table3 victimization table4 sweep sticky logfilter virt snooping policies multicmp nesting smt all");
-            std::process::exit(2);
-        }
+    let run_one = |name: &str| -> bool {
+        let ok = match name {
+            "table1" => {
+                print!("{}", table1_text());
+                true
+            }
+            "table2" if csv => emit(table2(&scale), |r| render::csv_table2(r)),
+            "table2" => emit(table2(&scale), |r| render::render_table2(r)),
+            "figure4" if csv => emit(figure4(&scale), |r| render::csv_figure4(r)),
+            "figure4" => emit(figure4(&scale), |r| render::render_figure4(r)),
+            "table3" if csv => emit(table3(&scale), |r| render::csv_table3(r)),
+            "table3" => emit(table3(&scale), |r| render::render_table3(r)),
+            "victimization" => {
+                emit(victimization(&scale), |r| render::render_victimization(r))
+            }
+            "table4" => {
+                print!("{}", logtm_se::substrates::tm::virt_compare::render_table4());
+                true
+            }
+            "sweep" => emit(signature_sweep(&scale), |r| render::render_sweep(r)),
+            "sticky" => emit(sticky_ablation(&scale), |r| render::render_sticky(r)),
+            "logfilter" => {
+                emit(log_filter_ablation(&scale), |r| render::render_log_filter(r))
+            }
+            "virt" => emit(virtualization_overhead(&scale), |r| render::render_virt(r)),
+            "snooping" => emit(snooping_comparison(&scale), |r| render::render_snooping(r)),
+            "policies" => emit(contention_policies(&scale), |r| render::render_policies(r)),
+            "multicmp" => emit(multi_cmp_comparison(&scale), |r| render::render_multi_cmp(r)),
+            "nesting" => emit(nesting_ablation(&scale), |r| render::render_nesting(r)),
+            "smt" => emit(smt_comparison(&scale), |r| render::render_smt(r)),
+            other => {
+                eprintln!("unknown subcommand: {other}");
+                eprintln!("known: table1 table2 figure4 table3 victimization table4 sweep sticky logfilter virt snooping policies multicmp nesting smt all");
+                std::process::exit(2);
+            }
+        };
+        report_timings();
+        ok
     };
 
+    let mut all_ok = true;
     if cmd == "all" {
         for name in [
             "table1",
@@ -123,10 +202,13 @@ fn main() {
             "nesting",
             "smt",
         ] {
-            run_one(name);
+            all_ok &= run_one(name);
             println!();
         }
     } else {
-        run_one(cmd);
+        all_ok = run_one(cmd);
+    }
+    if !all_ok {
+        std::process::exit(1);
     }
 }

@@ -1,9 +1,19 @@
 //! The experiment implementations.
+//!
+//! Every experiment builds its full list of independent simulation runs as
+//! labelled [`RunSpec`]s and fans them out through [`crate::runner`] — the
+//! parallel, deterministic, panic-isolated pool. Results come back in
+//! submission order, so every table below is byte-identical regardless of
+//! worker count; a diverging configuration surfaces as a labelled entry in
+//! the returned [`SweepError`] instead of killing the sweep.
 
-use logtm_se::{CoherenceKind, Cycle, RunReport, SignatureKind, SystemBuilder};
+use logtm_se::{CoherenceKind, Cycle, SignatureKind, SystemBuilder};
 use ltse_sim::config::seed_sequence;
+use ltse_sim::parallel::RunSpec;
 use ltse_sim::stats::SampleSet;
 use ltse_workloads::{run_benchmark, Benchmark, RunParams, SyncMode};
+
+use crate::runner::{sweep, sweep_ok, SweepError};
 
 /// How big each experiment runs: the trade-off between statistical quality
 /// and wall-clock time.
@@ -35,7 +45,7 @@ impl ExperimentScale {
         }
     }
 
-    /// Reduced scale for Criterion benches and smoke tests (seconds).
+    /// Reduced scale for timing benches and smoke tests (seconds).
     pub fn quick() -> Self {
         ExperimentScale {
             threads: 8,
@@ -95,45 +105,53 @@ pub struct PolicyRow {
 }
 
 /// Compares the three contention managers on the two most contended
-/// benchmarks.
-pub fn contention_policies(scale: &ExperimentScale) -> Vec<PolicyRow> {
+/// benchmarks. Hitting the cycle watchdog is a *result* here (the
+/// livelock-prone manager demonstrably livelocking), not a failure, so
+/// these runs handle the simulator error internally.
+pub fn contention_policies(scale: &ExperimentScale) -> Result<Vec<PolicyRow>, SweepError> {
     use logtm_se::ContentionPolicy;
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for benchmark in [Benchmark::BerkeleyDb, Benchmark::Raytrace] {
         for policy in [
             ContentionPolicy::RequesterStalls,
             ContentionPolicy::RequesterAborts,
             ContentionPolicy::SizeMatters,
         ] {
-            let mut system = SystemBuilder::paper_default()
-                .signature(SignatureKind::paper_bs_2kb())
-                .contention(policy)
-                .seed(seed)
-                .limits(ltse_sim::config::SimLimits {
-                    max_cycles: Cycle(10_000_000),
-                    max_events: 1_000_000_000,
-                })
-                .build();
-            for program in
-                benchmark.programs(SyncMode::Tm, scale.threads, scale.units_per_thread)
-            {
-                system.add_thread(program);
-            }
-            let completed = system.run().is_ok();
-            let r = system.report();
-            rows.push(PolicyRow {
-                benchmark,
-                policy,
-                cycles: r.cycles,
-                aborts: r.tm.aborts,
-                stalls: r.tm.stalls,
-                wasted_cycles: r.tm.wasted_cycles,
-                completed,
-            });
+            specs.push(RunSpec::new(
+                format!("contention/{benchmark}/{policy:?}"),
+                move || {
+                    let mut system = SystemBuilder::paper_default()
+                        .signature(SignatureKind::paper_bs_2kb())
+                        .contention(policy)
+                        .seed(seed)
+                        .limits(ltse_sim::config::SimLimits {
+                            max_cycles: Cycle(10_000_000),
+                            max_events: 1_000_000_000,
+                        })
+                        .build();
+                    for program in
+                        benchmark.programs(SyncMode::Tm, scale.threads, scale.units_per_thread)
+                    {
+                        system.add_thread(program);
+                    }
+                    let completed = system.run().is_ok();
+                    let r = system.report();
+                    PolicyRow {
+                        benchmark,
+                        policy,
+                        cycles: r.cycles,
+                        aborts: r.tm.aborts,
+                        stalls: r.tm.stalls,
+                        wasted_cycles: r.tm.wasted_cycles,
+                        completed,
+                    }
+                },
+            ));
         }
     }
-    rows
+    sweep_ok("contention_policies", specs)
 }
 
 // ---------------------------------------------------------------------
@@ -159,37 +177,40 @@ pub struct SmtRow {
 /// same threads on 32 single-threaded cores. LogTM-SE's pitch is that SMT
 /// costs only replicated signatures (cheap); the residual difference is L1
 /// sharing and same-core conflict checks — both measured here.
-pub fn smt_comparison(scale: &ExperimentScale) -> Vec<SmtRow> {
+pub fn smt_comparison(scale: &ExperimentScale) -> Result<Vec<SmtRow>, SweepError> {
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for benchmark in [Benchmark::Mp3d, Benchmark::BerkeleyDb] {
         for (machine, n_cores, smt, grid) in
             [("16x2 SMT", 16u8, 2u8, (4usize, 4usize)), ("32x1", 32, 1, (6, 6))]
         {
-            let mut mem = logtm_se::MemConfig::paper_cmp();
-            mem.n_cores = n_cores;
-            mem.smt_per_core = smt;
-            mem.grid_width = grid.0;
-            mem.grid_height = grid.1;
-            let mut system = SystemBuilder::paper_default()
-                .mem_config(mem)
-                .signature(SignatureKind::paper_bs_2kb())
-                .seed(seed)
-                .build();
-            for program in benchmark.programs(SyncMode::Tm, 32, scale.units_per_thread) {
-                system.add_thread(program);
-            }
-            let r = system.run().expect("SMT run completes");
-            rows.push(SmtRow {
-                benchmark,
-                machine,
-                cycles: r.cycles,
-                sibling_stalls: r.tm.sibling_stalls,
-                stalls: r.tm.stalls,
-            });
+            specs.push(RunSpec::new(format!("smt/{benchmark}/{machine}"), move || {
+                let mut mem = logtm_se::MemConfig::paper_cmp();
+                mem.n_cores = n_cores;
+                mem.smt_per_core = smt;
+                mem.grid_width = grid.0;
+                mem.grid_height = grid.1;
+                let mut system = SystemBuilder::paper_default()
+                    .mem_config(mem)
+                    .signature(SignatureKind::paper_bs_2kb())
+                    .seed(seed)
+                    .build();
+                for program in benchmark.programs(SyncMode::Tm, 32, scale.units_per_thread) {
+                    system.add_thread(program);
+                }
+                let r = system.run()?;
+                Ok::<_, logtm_se::RunError>(SmtRow {
+                    benchmark,
+                    machine,
+                    cycles: r.cycles,
+                    sibling_stalls: r.tm.sibling_stalls,
+                    stalls: r.tm.stalls,
+                })
+            }));
         }
     }
-    rows
+    sweep("smt_comparison", specs)
 }
 
 // ---------------------------------------------------------------------
@@ -215,7 +236,7 @@ pub struct NestingRow {
 /// shared phase. Flat transactions lose the private work on every conflict;
 /// closed nesting confines aborts to the cheap inner frame (§3.2's
 /// motivation for partial aborts).
-pub fn nesting_ablation(scale: &ExperimentScale) -> Vec<NestingRow> {
+pub fn nesting_ablation(scale: &ExperimentScale) -> Result<Vec<NestingRow>, SweepError> {
     use logtm_se::{Op, ProgCtx, ThreadProgram, WordAddr};
 
     struct Producer {
@@ -294,31 +315,36 @@ pub fn nesting_ablation(scale: &ExperimentScale) -> Vec<NestingRow> {
         }
     }
 
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
-    let mut rows = Vec::new();
-    for (shape, nested) in [("flat", false), ("nested", true)] {
-        let mut system = SystemBuilder::paper_default()
-            .signature(SignatureKind::paper_bs_2kb())
-            .seed(seed)
-            .build();
-        for t in 0..scale.threads.min(16) as u64 {
-            system.add_thread(Box::new(Producer {
-                nested,
-                me: t,
-                remaining: scale.units_per_thread,
-                step: 0,
-            }));
-        }
-        let r = system.run().expect("nesting run completes");
-        rows.push(NestingRow {
-            shape,
-            cycles: r.cycles,
-            aborts: r.tm.aborts,
-            partial_aborts: r.tm.partial_aborts,
-            wasted_cycles: r.tm.wasted_cycles,
-        });
-    }
-    rows
+    let specs = [("flat", false), ("nested", true)]
+        .into_iter()
+        .map(|(shape, nested)| {
+            RunSpec::new(format!("nesting/{shape}"), move || {
+                let mut system = SystemBuilder::paper_default()
+                    .signature(SignatureKind::paper_bs_2kb())
+                    .seed(seed)
+                    .build();
+                for t in 0..scale.threads.min(16) as u64 {
+                    system.add_thread(Box::new(Producer {
+                        nested,
+                        me: t,
+                        remaining: scale.units_per_thread,
+                        step: 0,
+                    }));
+                }
+                let r = system.run()?;
+                Ok::<_, logtm_se::RunError>(NestingRow {
+                    shape,
+                    cycles: r.cycles,
+                    aborts: r.tm.aborts,
+                    partial_aborts: r.tm.partial_aborts,
+                    wasted_cycles: r.tm.wasted_cycles,
+                })
+            })
+        })
+        .collect();
+    sweep("nesting_ablation", specs)
 }
 
 // ---------------------------------------------------------------------
@@ -343,32 +369,38 @@ pub struct MultiCmpRow {
 /// Compares the single-CMP baseline against 2- and 4-chip partitions of
 /// the same 16-core machine (paper §7 "Multiple CMPs": inter-chip directory
 /// coherence over point-to-point links).
-pub fn multi_cmp_comparison(scale: &ExperimentScale) -> Vec<MultiCmpRow> {
+pub fn multi_cmp_comparison(scale: &ExperimentScale) -> Result<Vec<MultiCmpRow>, SweepError> {
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for benchmark in [Benchmark::Mp3d, Benchmark::BerkeleyDb] {
         for chips in [1u8, 2, 4] {
-            let mut system = SystemBuilder::paper_default()
-                .signature(SignatureKind::paper_bs_2kb())
-                .chips(chips)
-                .seed(seed)
-                .build();
-            for program in
-                benchmark.programs(SyncMode::Tm, scale.threads, scale.units_per_thread)
-            {
-                system.add_thread(program);
-            }
-            let r = system.run().expect("multi-CMP run completes");
-            rows.push(MultiCmpRow {
-                benchmark,
-                chips,
-                cycles: r.cycles,
-                interchip_messages: r.mem.interchip_messages.get(),
-                messages: r.mem.messages.get(),
-            });
+            specs.push(RunSpec::new(
+                format!("multi_cmp/{benchmark}/chips={chips}"),
+                move || {
+                    let mut system = SystemBuilder::paper_default()
+                        .signature(SignatureKind::paper_bs_2kb())
+                        .chips(chips)
+                        .seed(seed)
+                        .build();
+                    for program in
+                        benchmark.programs(SyncMode::Tm, scale.threads, scale.units_per_thread)
+                    {
+                        system.add_thread(program);
+                    }
+                    let r = system.run()?;
+                    Ok::<_, logtm_se::RunError>(MultiCmpRow {
+                        benchmark,
+                        chips,
+                        cycles: r.cycles,
+                        interchip_messages: r.mem.interchip_messages.get(),
+                        messages: r.mem.messages.get(),
+                    })
+                },
+            ));
         }
     }
-    rows
+    sweep("multi_cmp_comparison", specs)
 }
 
 // ---------------------------------------------------------------------
@@ -399,32 +431,34 @@ pub struct SnoopRow {
 
 /// Compares the paper's §5 directory CMP with its §7 snooping CMP on two
 /// benchmarks, at a large and a small signature.
-pub fn snooping_comparison(scale: &ExperimentScale) -> Vec<SnoopRow> {
+pub fn snooping_comparison(scale: &ExperimentScale) -> Result<Vec<SnoopRow>, SweepError> {
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for benchmark in [Benchmark::Mp3d, Benchmark::Raytrace] {
         for coherence in [CoherenceKind::DirectoryMesi, CoherenceKind::SnoopingMesi] {
             for signature in [SignatureKind::paper_bs_2kb(), SignatureKind::paper_bs_64()] {
-                let mut p = params(scale, benchmark, SyncMode::Tm, signature, seed);
+                let mut p = params(&scale, benchmark, SyncMode::Tm, signature, seed);
                 p.coherence = coherence;
-                let r = run(&p);
-                rows.push(SnoopRow {
-                    benchmark,
-                    coherence,
-                    signature,
-                    cycles: r.cycles,
-                    messages: r.mem.messages.get(),
-                    false_positive_pct: r.tm.false_positive_pct(),
-                    stalls: r.tm.stalls,
-                });
+                specs.push(RunSpec::new(
+                    format!("snooping/{benchmark}/{coherence}/{}", signature.label()),
+                    move || {
+                        let r = run_benchmark(&p)?;
+                        Ok::<_, logtm_se::RunError>(SnoopRow {
+                            benchmark,
+                            coherence,
+                            signature,
+                            cycles: r.cycles,
+                            messages: r.mem.messages.get(),
+                            false_positive_pct: r.tm.false_positive_pct(),
+                            stalls: r.tm.stalls,
+                        })
+                    },
+                ));
             }
         }
     }
-    rows
-}
-
-fn run(p: &RunParams) -> RunReport {
-    run_benchmark(p).unwrap_or_else(|e| panic!("{} {} failed: {e}", p.benchmark, p.mode))
+    sweep("snooping_comparison", specs)
 }
 
 // ---------------------------------------------------------------------
@@ -453,19 +487,40 @@ pub struct Fig4Row {
 
 /// Regenerates Figure 4: execution-time speedups of LogTM-SE (perfect and
 /// realistic signatures) relative to the lock-based versions.
-pub fn figure4(scale: &ExperimentScale) -> Vec<Fig4Row> {
+///
+/// Every (benchmark, configuration, seed) cell is one pool job returning
+/// its throughput; normalization happens after the sweep so the math sees
+/// results in submission order.
+pub fn figure4(scale: &ExperimentScale) -> Result<Vec<Fig4Row>, SweepError> {
+    let scale = *scale;
     let seeds = seed_sequence(scale.base_seed, scale.seeds);
-    Benchmark::all()
+    let mut specs = Vec::new();
+    for benchmark in Benchmark::all() {
+        for &s in &seeds {
+            let p = params(&scale, benchmark, SyncMode::Lock, SignatureKind::Perfect, s);
+            specs.push(RunSpec::new(
+                format!("figure4/{benchmark}/lock/seed={s}"),
+                move || run_benchmark(&p).map(|r| r.throughput_per_kcycle()),
+            ));
+        }
+        for kind in SignatureKind::figure4_set() {
+            for &s in &seeds {
+                let p = params(&scale, benchmark, SyncMode::Tm, kind, s);
+                specs.push(RunSpec::new(
+                    format!("figure4/{benchmark}/tm/{}/seed={s}", kind.label()),
+                    move || run_benchmark(&p).map(|r| r.throughput_per_kcycle()),
+                ));
+            }
+        }
+    }
+    let throughputs = sweep("figure4", specs)?;
+
+    let mut it = throughputs.into_iter();
+    let rows = Benchmark::all()
         .into_iter()
         .map(|benchmark| {
             // Paired per-seed throughputs: lock baseline first.
-            let lock_thr: Vec<f64> = seeds
-                .iter()
-                .map(|&s| {
-                    run(&params(scale, benchmark, SyncMode::Lock, SignatureKind::Perfect, s))
-                        .throughput_per_kcycle()
-                })
-                .collect();
+            let lock_thr: Vec<f64> = it.by_ref().take(seeds.len()).collect();
             let lock_mean = lock_thr.iter().sum::<f64>() / lock_thr.len() as f64;
 
             let mut bars = vec![{
@@ -479,14 +534,8 @@ pub fn figure4(scale: &ExperimentScale) -> Vec<Fig4Row> {
             }];
 
             for kind in SignatureKind::figure4_set() {
-                let ratios: SampleSet = seeds
-                    .iter()
-                    .map(|&s| {
-                        run(&params(scale, benchmark, SyncMode::Tm, kind, s))
-                            .throughput_per_kcycle()
-                            / lock_mean
-                    })
-                    .collect();
+                let ratios: SampleSet =
+                    it.by_ref().take(seeds.len()).map(|t| t / lock_mean).collect();
                 let (speedup, ci95) = ratios.mean_ci95();
                 let label = match kind {
                     SignatureKind::Perfect => "P".to_string(),
@@ -504,7 +553,8 @@ pub fn figure4(scale: &ExperimentScale) -> Vec<Fig4Row> {
             }
             Fig4Row { benchmark, bars }
         })
-        .collect()
+        .collect();
+    Ok(rows)
 }
 
 // ---------------------------------------------------------------------
@@ -537,26 +587,31 @@ pub struct Table2Row {
 }
 
 /// Regenerates Table 2 from perfect-signature TM runs.
-pub fn table2(scale: &ExperimentScale) -> Vec<Table2Row> {
+pub fn table2(scale: &ExperimentScale) -> Result<Vec<Table2Row>, SweepError> {
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
-    Benchmark::all()
+    let specs = Benchmark::all()
         .into_iter()
         .map(|benchmark| {
-            let r = run(&params(scale, benchmark, SyncMode::Tm, SignatureKind::Perfect, seed));
-            Table2Row {
-                benchmark,
-                input: benchmark.input_label(),
-                unit: benchmark.unit_label(),
-                units: r.tm.work_units,
-                transactions: r.tm.commits,
-                read_avg: r.tm.read_set.mean().unwrap_or(0.0),
-                read_max: r.tm.read_set.max().unwrap_or(0),
-                read_p95: r.tm.read_set_hist.percentile(95).unwrap_or(0),
-                write_avg: r.tm.write_set.mean().unwrap_or(0.0),
-                write_max: r.tm.write_set.max().unwrap_or(0),
-            }
+            let p = params(&scale, benchmark, SyncMode::Tm, SignatureKind::Perfect, seed);
+            RunSpec::new(format!("table2/{benchmark}"), move || {
+                let r = run_benchmark(&p)?;
+                Ok::<_, logtm_se::RunError>(Table2Row {
+                    benchmark,
+                    input: benchmark.input_label(),
+                    unit: benchmark.unit_label(),
+                    units: r.tm.work_units,
+                    transactions: r.tm.commits,
+                    read_avg: r.tm.read_set.mean().unwrap_or(0.0),
+                    read_max: r.tm.read_set.max().unwrap_or(0),
+                    read_p95: r.tm.read_set_hist.percentile(95).unwrap_or(0),
+                    write_avg: r.tm.write_set.mean().unwrap_or(0.0),
+                    write_max: r.tm.write_set.max().unwrap_or(0),
+                })
+            })
         })
-        .collect()
+        .collect();
+    sweep("table2", specs)
 }
 
 // ---------------------------------------------------------------------
@@ -602,23 +657,30 @@ pub fn table3_signatures() -> Vec<SignatureKind> {
 }
 
 /// Regenerates Table 3 for the paper's two focus benchmarks.
-pub fn table3(scale: &ExperimentScale) -> Vec<Table3Row> {
+pub fn table3(scale: &ExperimentScale) -> Result<Vec<Table3Row>, SweepError> {
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
-    let mut rows = Vec::new();
+    let mut specs = Vec::new();
     for benchmark in [Benchmark::Raytrace, Benchmark::BerkeleyDb] {
         for signature in table3_signatures() {
-            let r = run(&params(scale, benchmark, SyncMode::Tm, signature, seed));
-            rows.push(Table3Row {
-                benchmark,
-                signature,
-                transactions: r.tm.commits,
-                aborts: r.tm.aborts,
-                stalls: r.tm.stalls,
-                false_positive_pct: r.tm.false_positive_pct(),
-            });
+            let p = params(&scale, benchmark, SyncMode::Tm, signature, seed);
+            specs.push(RunSpec::new(
+                format!("table3/{benchmark}/{}", signature.label()),
+                move || {
+                    let r = run_benchmark(&p)?;
+                    Ok::<_, logtm_se::RunError>(Table3Row {
+                        benchmark,
+                        signature,
+                        transactions: r.tm.commits,
+                        aborts: r.tm.aborts,
+                        stalls: r.tm.stalls,
+                        false_positive_pct: r.tm.false_positive_pct(),
+                    })
+                },
+            ));
         }
     }
-    rows
+    sweep("table3", specs)
 }
 
 // ---------------------------------------------------------------------
@@ -640,24 +702,28 @@ pub struct VictimRow {
 
 /// Regenerates Result 4: how often transactional data is victimized.
 /// Raytrace gets extra units so its rare huge transactions appear.
-pub fn victimization(scale: &ExperimentScale) -> Vec<VictimRow> {
+pub fn victimization(scale: &ExperimentScale) -> Result<Vec<VictimRow>, SweepError> {
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
-    Benchmark::all()
+    let specs = Benchmark::all()
         .into_iter()
         .map(|benchmark| {
-            let mut p = params(scale, benchmark, SyncMode::Tm, SignatureKind::Perfect, seed);
+            let mut p = params(&scale, benchmark, SyncMode::Tm, SignatureKind::Perfect, seed);
             if benchmark == Benchmark::Raytrace {
                 p.units_per_thread = scale.units_per_thread * 4;
             }
-            let r = run(&p);
-            VictimRow {
-                benchmark,
-                transactions: r.tm.commits,
-                victimizations: r.mem.tx_victimizations_exact(),
-                broadcasts: r.mem.lost_dir_broadcasts.get(),
-            }
+            RunSpec::new(format!("victimization/{benchmark}"), move || {
+                let r = run_benchmark(&p)?;
+                Ok::<_, logtm_se::RunError>(VictimRow {
+                    benchmark,
+                    transactions: r.tm.commits,
+                    victimizations: r.mem.tx_victimizations_exact(),
+                    broadcasts: r.mem.lost_dir_broadcasts.get(),
+                })
+            })
         })
-        .collect()
+        .collect();
+    sweep("victimization", specs)
 }
 
 // ---------------------------------------------------------------------
@@ -679,36 +745,64 @@ pub struct SweepRow {
     pub aborts: u64,
 }
 
+fn sweep_signatures(bits: usize) -> [SignatureKind; 3] {
+    [
+        SignatureKind::BitSelect { bits },
+        SignatureKind::DoubleBitSelect { bits },
+        SignatureKind::CoarseBitSelect {
+            bits,
+            blocks_per_macroblock: 16,
+        },
+    ]
+}
+
 /// Sweeps BS/DBS/CBS sizes from 64 b to 4 Kb on Raytrace and BerkeleyDB —
 /// the extension of Figure 4 / Table 3 the paper's sizing discussion
-/// implies.
-pub fn signature_sweep(scale: &ExperimentScale) -> Vec<SweepRow> {
+/// implies. The lock baseline and every TM cell run as independent pool
+/// jobs; speedups are computed after the sweep.
+pub fn signature_sweep(scale: &ExperimentScale) -> Result<Vec<SweepRow>, SweepError> {
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
+    let mut specs = Vec::new();
+    for benchmark in [Benchmark::Raytrace, Benchmark::BerkeleyDb] {
+        let p = params(&scale, benchmark, SyncMode::Lock, SignatureKind::Perfect, seed);
+        specs.push(RunSpec::new(format!("sig_sweep/{benchmark}/lock"), move || {
+            run_benchmark(&p).map(|r| (r.throughput_per_kcycle(), None, 0))
+        }));
+        for bits in [64usize, 128, 256, 512, 1024, 2048, 4096] {
+            for signature in sweep_signatures(bits) {
+                let p = params(&scale, benchmark, SyncMode::Tm, signature, seed);
+                specs.push(RunSpec::new(
+                    format!("sig_sweep/{benchmark}/{}", signature.label()),
+                    move || {
+                        run_benchmark(&p).map(|r| {
+                            (r.throughput_per_kcycle(), r.tm.false_positive_pct(), r.tm.aborts)
+                        })
+                    },
+                ));
+            }
+        }
+    }
+    let stats = sweep("signature_sweep", specs)?;
+
+    let mut it = stats.into_iter();
     let mut rows = Vec::new();
     for benchmark in [Benchmark::Raytrace, Benchmark::BerkeleyDb] {
-        let lock = run(&params(scale, benchmark, SyncMode::Lock, SignatureKind::Perfect, seed))
-            .throughput_per_kcycle();
+        let (lock, _, _) = it.next().expect("lock baseline present");
         for bits in [64usize, 128, 256, 512, 1024, 2048, 4096] {
-            for signature in [
-                SignatureKind::BitSelect { bits },
-                SignatureKind::DoubleBitSelect { bits },
-                SignatureKind::CoarseBitSelect {
-                    bits,
-                    blocks_per_macroblock: 16,
-                },
-            ] {
-                let r = run(&params(scale, benchmark, SyncMode::Tm, signature, seed));
+            for signature in sweep_signatures(bits) {
+                let (thr, false_positive_pct, aborts) = it.next().expect("tm cell present");
                 rows.push(SweepRow {
                     benchmark,
                     signature,
-                    speedup: r.throughput_per_kcycle() / lock,
-                    false_positive_pct: r.tm.false_positive_pct(),
-                    aborts: r.tm.aborts,
+                    speedup: thr / lock,
+                    false_positive_pct,
+                    aborts,
                 });
             }
         }
     }
-    rows
+    Ok(rows)
 }
 
 // ---------------------------------------------------------------------
@@ -746,65 +840,74 @@ pub struct StickyRow {
 /// precisely the paper's motivation. The overflow microbenchmark here uses
 /// near-capacity (not over-capacity) read sets, so evictions are caused by
 /// SMT-sibling cache pressure and retries can succeed.
-pub fn sticky_ablation(scale: &ExperimentScale) -> Vec<StickyRow> {
+pub fn sticky_ablation(scale: &ExperimentScale) -> Result<Vec<StickyRow>, SweepError> {
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
-    let mut rows = Vec::new();
+    let mut specs: Vec<RunSpec<Result<StickyRow, logtm_se::RunError>>> = Vec::new();
 
     // Overflow microbenchmark: 200-block transactional read sets on cores
     // whose two SMT contexts share a 512-block L1. With sticky states this
     // victimizes freely and completes; without them it livelocks (bounded
-    // here by a 5M-cycle watchdog).
+    // here by a 5M-cycle watchdog) — hitting the watchdog is the result,
+    // not a failure.
     for sticky in [true, false] {
-        let mut system = SystemBuilder::paper_default()
-            .signature(SignatureKind::Perfect)
-            .sticky(sticky)
-            .seed(seed)
-            .limits(ltse_sim::config::SimLimits {
-                max_cycles: Cycle(5_000_000),
-                max_events: 500_000_000,
-            })
-            .build();
-        for t in 0..16u64 {
-            system.add_thread(Box::new(ltse_workloads::CsProgram::new(
-                ltse_workloads::HotColdArray::new(
-                    logtm_se::WordAddr(8 * ((1 << 20) + t * 64)), // private hot block
-                    logtm_se::WordAddr(8 * ((2 << 20) + t * 4096)),
-                    256,
-                    200,
-                    logtm_se::WordAddr(8 * (3 << 20)),
-                    scale.units_per_thread.max(4),
-                ),
-                SyncMode::Tm,
-                t << 32,
-            )));
-        }
-        let completed = system.run().is_ok();
-        let r = system.report();
-        rows.push(StickyRow {
-            workload: "overflow-micro".into(),
-            sticky,
-            cycles: r.cycles,
-            aborts: r.tm.aborts,
-            victimizations: r.mem.tx_victimizations_exact(),
-            completed,
-        });
+        specs.push(RunSpec::new(
+            format!("sticky/overflow-micro/sticky={sticky}"),
+            move || {
+                let mut system = SystemBuilder::paper_default()
+                    .signature(SignatureKind::Perfect)
+                    .sticky(sticky)
+                    .seed(seed)
+                    .limits(ltse_sim::config::SimLimits {
+                        max_cycles: Cycle(5_000_000),
+                        max_events: 500_000_000,
+                    })
+                    .build();
+                for t in 0..16u64 {
+                    system.add_thread(Box::new(ltse_workloads::CsProgram::new(
+                        ltse_workloads::HotColdArray::new(
+                            logtm_se::WordAddr(8 * ((1 << 20) + t * 64)), // private hot block
+                            logtm_se::WordAddr(8 * ((2 << 20) + t * 4096)),
+                            256,
+                            200,
+                            logtm_se::WordAddr(8 * (3 << 20)),
+                            scale.units_per_thread.max(4),
+                        ),
+                        SyncMode::Tm,
+                        t << 32,
+                    )));
+                }
+                let completed = system.run().is_ok();
+                let r = system.report();
+                Ok(StickyRow {
+                    workload: "overflow-micro".into(),
+                    sticky,
+                    cycles: r.cycles,
+                    aborts: r.tm.aborts,
+                    victimizations: r.mem.tx_victimizations_exact(),
+                    completed,
+                })
+            },
+        ));
     }
 
     // Mp3d: tiny footprints — sticky should cost/buy nothing.
     for sticky in [true, false] {
-        let mut p = params(scale, Benchmark::Mp3d, SyncMode::Tm, SignatureKind::Perfect, seed);
+        let mut p = params(&scale, Benchmark::Mp3d, SyncMode::Tm, SignatureKind::Perfect, seed);
         p.sticky = sticky;
-        let r = run(&p);
-        rows.push(StickyRow {
-            workload: Benchmark::Mp3d.name().into(),
-            sticky,
-            cycles: r.cycles,
-            aborts: r.tm.aborts,
-            victimizations: r.mem.tx_victimizations_exact(),
-            completed: true,
-        });
+        specs.push(RunSpec::new(format!("sticky/mp3d/sticky={sticky}"), move || {
+            let r = run_benchmark(&p)?;
+            Ok(StickyRow {
+                workload: Benchmark::Mp3d.name().into(),
+                sticky,
+                cycles: r.cycles,
+                aborts: r.tm.aborts,
+                victimizations: r.mem.tx_victimizations_exact(),
+                completed: true,
+            })
+        }));
     }
-    rows
+    sweep("sticky_ablation", specs)
 }
 
 // ---------------------------------------------------------------------
@@ -827,38 +930,42 @@ pub struct LogFilterRow {
 /// Ablation A3: the log filter's effect on redundant logging. The driver
 /// is a repeated-writer microbenchmark (each transaction stores 24 times
 /// over 6 blocks — the re-write pattern the filter exists for).
-pub fn log_filter_ablation(scale: &ExperimentScale) -> Vec<LogFilterRow> {
+pub fn log_filter_ablation(scale: &ExperimentScale) -> Result<Vec<LogFilterRow>, SweepError> {
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
-    [0usize, 1, 2, 4, 8, 16, 32, 64]
+    let specs = [0usize, 1, 2, 4, 8, 16, 32, 64]
         .into_iter()
         .map(|entries| {
-            let mut system = SystemBuilder::paper_default()
-                .signature(SignatureKind::Perfect)
-                .log_filter_entries(entries)
-                .seed(seed)
-                .build();
-            for t in 0..scale.threads as u64 {
-                system.add_thread(Box::new(ltse_workloads::CsProgram::new(
-                    ltse_workloads::RepeatedWriter::new(
-                        logtm_se::WordAddr(8 * ((4 << 20) + t * 64)),
-                        6,
-                        24,
-                        logtm_se::WordAddr(8 * (5 << 20)),
-                        scale.units_per_thread,
-                    ),
-                    SyncMode::Tm,
-                    t << 32,
-                )));
-            }
-            let r = system.run().expect("repeated-writer completes");
-            LogFilterRow {
-                entries,
-                log_writes: r.tm.log_writes,
-                suppressed: r.tm.log_writes_suppressed,
-                cycles: r.cycles,
-            }
+            RunSpec::new(format!("log_filter/entries={entries}"), move || {
+                let mut system = SystemBuilder::paper_default()
+                    .signature(SignatureKind::Perfect)
+                    .log_filter_entries(entries)
+                    .seed(seed)
+                    .build();
+                for t in 0..scale.threads as u64 {
+                    system.add_thread(Box::new(ltse_workloads::CsProgram::new(
+                        ltse_workloads::RepeatedWriter::new(
+                            logtm_se::WordAddr(8 * ((4 << 20) + t * 64)),
+                            6,
+                            24,
+                            logtm_se::WordAddr(8 * (5 << 20)),
+                            scale.units_per_thread,
+                        ),
+                        SyncMode::Tm,
+                        t << 32,
+                    )));
+                }
+                let r = system.run()?;
+                Ok::<_, logtm_se::RunError>(LogFilterRow {
+                    entries,
+                    log_writes: r.tm.log_writes,
+                    suppressed: r.tm.log_writes_suppressed,
+                    cycles: r.cycles,
+                })
+            })
         })
-        .collect()
+        .collect();
+    sweep("log_filter_ablation", specs)
 }
 
 // ---------------------------------------------------------------------
@@ -890,13 +997,15 @@ pub struct VirtRow {
 /// threads than contexts forces the OS to multiplex mid-transaction (Mp3d
 /// would conflate the story with its per-step barrier, whose interaction
 /// with oversubscription is a scheduling pathology of its own).
-pub fn virtualization_overhead(scale: &ExperimentScale) -> Vec<VirtRow> {
+pub fn virtualization_overhead(scale: &ExperimentScale) -> Result<Vec<VirtRow>, SweepError> {
+    let scale = *scale;
     let seed = seed_sequence(scale.base_seed, 1)[0];
     let n_ctxs = 32u32; // the paper machine's thread contexts
     let threads = n_ctxs * 3 / 2; // oversubscribe 1.5× the CONTEXTS
-    let mut rows = Vec::new();
 
-    let run_with = |threads: u32, preemption: Option<(Cycle, bool)>| -> RunReport {
+    let run_with = move |threads: u32,
+                         preemption: Option<(Cycle, bool)>|
+          -> Result<logtm_se::RunReport, logtm_se::RunError> {
         let mut builder = SystemBuilder::paper_default()
             .signature(SignatureKind::paper_bs_2kb())
             .seed(seed);
@@ -909,37 +1018,33 @@ pub fn virtualization_overhead(scale: &ExperimentScale) -> Vec<VirtRow> {
         {
             system.add_thread(program);
         }
-        system.run().expect("virtualization run completes")
+        system.run()
+    };
+
+    let row_from = |r: logtm_se::RunReport, quantum: Option<Cycle>, defer: bool| VirtRow {
+        quantum,
+        defer_in_tx: defer,
+        cycles: r.cycles,
+        units: r.tm.work_units,
+        tx_deschedules: r.os.tx_deschedules,
+        summary_installs: r.os.summary_installs,
+        aborts: r.tm.aborts,
     };
 
     // Baseline: exactly as many threads as contexts, no preemption; same
     // total units as the oversubscribed runs do per thread.
-    let baseline = run_with(n_ctxs, None);
-    rows.push(VirtRow {
-        quantum: None,
-        defer_in_tx: false,
-        cycles: baseline.cycles,
-        units: baseline.tm.work_units,
-        tx_deschedules: baseline.os.tx_deschedules,
-        summary_installs: baseline.os.summary_installs,
-        aborts: baseline.tm.aborts,
-    });
-
+    let mut specs = vec![RunSpec::new("virtualization/baseline", move || {
+        run_with(n_ctxs, None).map(|r| row_from(r, None, false))
+    })];
     for quantum in [Cycle(20_000), Cycle(5_000)] {
         for defer in [true, false] {
-            let r = run_with(threads, Some((quantum, defer)));
-            rows.push(VirtRow {
-                quantum: Some(quantum),
-                defer_in_tx: defer,
-                cycles: r.cycles,
-                units: r.tm.work_units,
-                tx_deschedules: r.os.tx_deschedules,
-                summary_installs: r.os.summary_installs,
-                aborts: r.tm.aborts,
-            });
+            specs.push(RunSpec::new(
+                format!("virtualization/q={}/defer={defer}", quantum.as_u64()),
+                move || run_with(threads, Some((quantum, defer))).map(|r| row_from(r, Some(quantum), defer)),
+            ));
         }
     }
-    rows
+    sweep("virtualization_overhead", specs)
 }
 
 #[cfg(test)]
@@ -958,7 +1063,7 @@ mod tests {
 
     #[test]
     fn figure4_produces_six_bars_per_benchmark() {
-        let rows = figure4(&tiny());
+        let rows = figure4(&tiny()).expect("sweep");
         assert_eq!(rows.len(), 5);
         for row in &rows {
             assert_eq!(row.bars.len(), 6);
@@ -972,7 +1077,7 @@ mod tests {
 
     #[test]
     fn table2_rows_have_footprints() {
-        let rows = table2(&tiny());
+        let rows = table2(&tiny()).expect("sweep");
         assert_eq!(rows.len(), 5);
         for row in &rows {
             assert!(row.transactions > 0, "{}", row.benchmark);
@@ -983,7 +1088,7 @@ mod tests {
 
     #[test]
     fn table3_has_rows_for_both_benchmarks() {
-        let rows = table3(&tiny());
+        let rows = table3(&tiny()).expect("sweep");
         assert_eq!(rows.len(), 2 * table3_signatures().len());
         // Perfect signatures can never produce false positives.
         for row in rows.iter().filter(|r| r.signature == SignatureKind::Perfect) {
@@ -993,7 +1098,7 @@ mod tests {
 
     #[test]
     fn log_filter_zero_suppresses_nothing() {
-        let rows = log_filter_ablation(&tiny());
+        let rows = log_filter_ablation(&tiny()).expect("sweep");
         let zero = rows.iter().find(|r| r.entries == 0).unwrap();
         let sixteen = rows.iter().find(|r| r.entries == 16).unwrap();
         assert_eq!(zero.suppressed, 0, "disabled filter suppresses nothing");

@@ -1,0 +1,103 @@
+//! Minimal timing harness backing the `[[bench]]` targets.
+//!
+//! The sandbox this repo builds in has no network access, so the bench
+//! targets cannot pull in an external framework. Each target is instead a
+//! plain `fn main()` (`harness = false`) that times closures with
+//! [`std::time::Instant`] and prints one line per case:
+//!
+//! ```text
+//! figure4/berkeleydb/lock        mean 12.481 ms   best 12.102 ms   (10 iters)
+//! ```
+//!
+//! Iteration counts default per target and can be overridden with the
+//! `LTSE_BENCH_ITERS` environment variable. `cargo bench <filter>` substring
+//! filters work the same way cargo's built-in harness treats them.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Resolve the per-case iteration count: `LTSE_BENCH_ITERS` if set and
+/// positive, otherwise the target's default.
+pub fn iters(default: usize) -> usize {
+    std::env::var("LTSE_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Substring filters passed on the command line (`cargo bench fig` forwards
+/// `fig` to the target). Flags such as `--bench` that cargo injects are
+/// ignored.
+pub fn cli_filters() -> Vec<String> {
+    std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect()
+}
+
+/// A named group of timed cases, mirroring the old `benchmark_group` layout.
+pub struct BenchGroup {
+    group: String,
+    filters: Vec<String>,
+    iters: usize,
+}
+
+impl BenchGroup {
+    /// Start a group. `default_iters` applies to every case unless
+    /// `LTSE_BENCH_ITERS` overrides it.
+    pub fn new(group: &str, default_iters: usize) -> Self {
+        BenchGroup {
+            group: group.to_string(),
+            filters: cli_filters(),
+            iters: iters(default_iters),
+        }
+    }
+
+    /// Time `f` (after one untimed warmup call) and print mean/best. Skipped
+    /// when CLI filters are present and none matches `group/name`.
+    pub fn case<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        let full = format!("{}/{}", self.group, name);
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| full.contains(p.as_str())) {
+            return;
+        }
+        black_box(f());
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed().as_secs_f64();
+            total += dt;
+            best = best.min(dt);
+        }
+        println!(
+            "{full:<44} mean {:>9} ms   best {:>9} ms   ({} iters)",
+            format_ms(total / self.iters as f64),
+            format_ms(best),
+            self.iters
+        );
+    }
+}
+
+fn format_ms(secs: f64) -> String {
+    format!("{:.3}", secs * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iters_env_fallback_uses_default() {
+        // The variable is not set under `cargo test`, so the default wins.
+        if std::env::var("LTSE_BENCH_ITERS").is_err() {
+            assert_eq!(iters(7), 7);
+        }
+    }
+
+    #[test]
+    fn format_is_milliseconds() {
+        assert_eq!(format_ms(0.012345), "12.345");
+    }
+}

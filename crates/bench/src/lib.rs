@@ -1,15 +1,19 @@
 //! Experiment harness: every table and figure of the paper's evaluation,
 //! regenerated as structured data plus aligned-text rendering.
 //!
-//! The `repro` binary is the command-line front end; Criterion benches
-//! reuse the same experiment functions at reduced scale. See DESIGN.md's
-//! experiment index for the mapping from paper artifact to function.
+//! The `repro` binary is the command-line front end; the `benches/` timing
+//! targets reuse the same experiment functions at reduced scale. See
+//! DESIGN.md's experiment index for the mapping from paper artifact to
+//! function. All sweeps fan out through [`runner`], a deterministic
+//! parallel pool with per-run panic isolation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod render;
+pub mod runner;
 
 pub use experiments::{
     contention_policies, figure4, log_filter_ablation, multi_cmp_comparison, nesting_ablation,

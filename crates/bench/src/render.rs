@@ -375,12 +375,12 @@ mod tests {
             base_seed: 3,
             warmup_units: 0,
         };
-        let f4 = render_figure4(&crate::figure4(&tiny));
+        let f4 = render_figure4(&crate::figure4(&tiny).expect("sweep"));
         assert!(f4.contains("Figure 4"));
         assert!(f4.contains("BerkeleyDB"));
         assert!(f4.contains("BS_64"));
 
-        let t2 = render_table2(&crate::table2(&tiny));
+        let t2 = render_table2(&crate::table2(&tiny).expect("sweep"));
         assert!(t2.contains("Table 2"));
         assert!(t2.contains("tk14.O"));
     }
@@ -394,17 +394,17 @@ mod tests {
             base_seed: 3,
             warmup_units: 0,
         };
-        let f4 = csv_figure4(&crate::figure4(&tiny));
+        let f4 = csv_figure4(&crate::figure4(&tiny).expect("sweep"));
         let lines: Vec<&str> = f4.lines().collect();
         assert_eq!(lines[0], "benchmark,config,speedup,ci95");
         assert_eq!(lines.len(), 1 + 5 * 6, "5 benchmarks × 6 bars");
         for line in &lines[1..] {
             assert_eq!(line.split(',').count(), 4);
         }
-        let t2 = csv_table2(&crate::table2(&tiny));
+        let t2 = csv_table2(&crate::table2(&tiny).expect("sweep"));
         assert!(t2.starts_with("benchmark,units,transactions"));
         assert_eq!(t2.lines().count(), 6);
-        let t3 = csv_table3(&crate::table3(&tiny));
+        let t3 = csv_table3(&crate::table3(&tiny).expect("sweep"));
         assert!(t3.lines().count() > 10);
     }
 }

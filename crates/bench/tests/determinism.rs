@@ -1,0 +1,108 @@
+//! The tentpole guarantees, tested end to end at the experiment level:
+//!
+//! 1. **Determinism**: an experiment's rendered output is byte-identical
+//!    whether its sweep ran on 1 worker or 4.
+//! 2. **Panic isolation**: one diverging run surfaces as a labelled
+//!    failure; every other run of the sweep still completes.
+
+use std::sync::Mutex;
+
+use ltse_bench::experiments::ExperimentScale;
+use ltse_bench::runner::{self, sweep, sweep_ok};
+use ltse_bench::{figure4, render, table3};
+use ltse_sim::parallel::RunSpec;
+
+/// `runner::set_jobs` is process-global, so tests that change it must not
+/// interleave.
+static JOBS_GUARD: Mutex<()> = Mutex::new(());
+
+fn tiny() -> ExperimentScale {
+    ExperimentScale {
+        threads: 4,
+        units_per_thread: 2,
+        seeds: 2,
+        base_seed: 11,
+        warmup_units: 0,
+    }
+}
+
+#[test]
+fn figure4_is_byte_identical_across_worker_counts() {
+    let _guard = JOBS_GUARD.lock().unwrap();
+    let scale = tiny();
+
+    runner::set_jobs(Some(1));
+    let serial = render::render_figure4(&figure4(&scale).expect("1-worker sweep"));
+
+    runner::set_jobs(Some(4));
+    let parallel = render::render_figure4(&figure4(&scale).expect("4-worker sweep"));
+
+    runner::set_jobs(None);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "worker count leaked into the results");
+}
+
+#[test]
+fn table3_rows_are_identical_across_worker_counts() {
+    let _guard = JOBS_GUARD.lock().unwrap();
+    let scale = tiny();
+
+    runner::set_jobs(Some(1));
+    let one = table3(&scale).expect("1-worker sweep");
+    runner::set_jobs(Some(3));
+    let three = table3(&scale).expect("3-worker sweep");
+    runner::set_jobs(None);
+
+    assert_eq!(one.len(), three.len());
+    for (a, b) in one.iter().zip(&three) {
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.signature, b.signature);
+        assert_eq!(a.transactions, b.transactions);
+        assert_eq!(a.aborts, b.aborts);
+        assert_eq!(a.stalls, b.stalls);
+        assert_eq!(a.false_positive_pct, b.false_positive_pct);
+    }
+}
+
+#[test]
+fn a_panicking_run_fails_its_sweep_without_killing_the_others() {
+    let _guard = JOBS_GUARD.lock().unwrap();
+    runner::set_jobs(Some(4));
+
+    let mut specs: Vec<RunSpec<Result<u64, logtm_se::RunError>>> = (0..6u64)
+        .map(|i| RunSpec::new(format!("stable/{i}"), move || Ok(i)))
+        .collect();
+    specs.insert(
+        2,
+        RunSpec::new("diverging-config", || {
+            panic!("simulated livelock at cycle 5000000")
+        }),
+    );
+    let err = sweep("panic_isolation_test", specs).unwrap_err();
+    runner::set_jobs(None);
+
+    // Exactly the diverging run failed, by name, with its panic message.
+    assert_eq!(err.runs, 7);
+    assert_eq!(err.failures.len(), 1);
+    assert_eq!(err.failures[0].label, "diverging-config");
+    assert!(err.failures[0].reason.contains("simulated livelock"));
+    runner::take_timings();
+}
+
+#[test]
+fn sweep_ok_returns_surviving_rows_alongside_a_panic() {
+    let _guard = JOBS_GUARD.lock().unwrap();
+    runner::set_jobs(Some(2));
+
+    // sweep_ok only fails on panics; the non-panicking rows all complete
+    // even while a sibling run dies.
+    let mut specs: Vec<RunSpec<u64>> =
+        (0..5u64).map(|i| RunSpec::new(format!("ok/{i}"), move || i * i)).collect();
+    specs.push(RunSpec::new("boom", || panic!("kaboom")));
+    let err = sweep_ok("panic_isolation_ok_test", specs).unwrap_err();
+    runner::set_jobs(None);
+
+    assert_eq!(err.failures.len(), 1);
+    assert_eq!(err.failures[0].label, "boom");
+    runner::take_timings();
+}

@@ -77,7 +77,11 @@ pub struct ProgCtx<'a> {
 /// [`ThreadProgram::on_tx_abort`]; the program must rewind its state so the
 /// *next* `next_op` call re-issues the `TxBegin` of the aborted transaction
 /// (the register-checkpoint restore of real hardware).
-pub trait ThreadProgram {
+///
+/// Programs must be [`Send`]: a whole configured [`crate::System`] (threads
+/// included) crosses OS-thread boundaries when experiment sweeps fan out
+/// over the parallel runner (`ltse_sim::parallel`).
+pub trait ThreadProgram: Send {
     /// Produce the next operation.
     fn next_op(&mut self, t: &mut ProgCtx) -> Op;
 
@@ -115,14 +119,14 @@ pub struct FnProgram<F> {
     aborted: bool,
 }
 
-impl<F: FnMut(&mut ProgCtx, bool) -> Op> FnProgram<F> {
+impl<F: FnMut(&mut ProgCtx, bool) -> Op + Send> FnProgram<F> {
     /// Wraps a closure as a program.
     pub fn new(f: F) -> Self {
         FnProgram { f, aborted: false }
     }
 }
 
-impl<F: FnMut(&mut ProgCtx, bool) -> Op> ThreadProgram for FnProgram<F> {
+impl<F: FnMut(&mut ProgCtx, bool) -> Op + Send> ThreadProgram for FnProgram<F> {
     fn next_op(&mut self, t: &mut ProgCtx) -> Op {
         let aborted = std::mem::take(&mut self.aborted);
         (self.f)(t, aborted)

@@ -835,6 +835,18 @@ fn read_block_words(mem: &MemorySystem, block: BlockAddr) -> [u64; 8] {
     std::array::from_fn(|i| mem.read_word(base.offset(i as u64)))
 }
 
+// A configured System (threads included) must be able to cross OS threads:
+// the parallel experiment runner builds and runs whole systems on pool
+// workers. Compile-time check so a future non-Send field fails here, with
+// context, rather than deep inside a sweep.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<System>();
+    assert_send::<SystemBuilder>();
+    assert_send::<RunError>();
+    assert_send::<Box<dyn ThreadProgram>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,9 +1,11 @@
 //! Whole-system property tests: randomly generated transactional programs
 //! over shared counters must be exactly serializable — every committed
 //! increment lands exactly once — under every signature kind, with and
-//! without preemption, across seeds.
+//! without preemption, across seeds. Randomized deterministically through
+//! `ltse_sim::check`.
 
-use proptest::prelude::*;
+use ltse_sim::check::{cases, pick, vec_of};
+use ltse_sim::rng::Xoshiro256StarStar;
 
 use logtm_se::{Asid, Cycle, Op, ProgCtx, SignatureKind, SystemBuilder, ThreadProgram, WordAddr};
 
@@ -59,41 +61,44 @@ impl ThreadProgram for PlannedThread {
     }
 }
 
-fn plans() -> impl Strategy<Value = Vec<Vec<TxPlan>>> {
-    let tx = (
-        prop::collection::btree_set(0u8..6, 1..4),
-        prop::collection::vec(0u8..6, 0..3),
-        0u64..80,
-    )
-        .prop_map(|(targets, reads, work)| TxPlan {
-            targets: targets.into_iter().collect(),
-            reads,
-            work,
-        });
-    prop::collection::vec(prop::collection::vec(tx, 1..6), 2..6)
+fn random_tx(rng: &mut Xoshiro256StarStar) -> TxPlan {
+    // 1..4 distinct target counters out of 6.
+    let n_targets = rng.gen_range(1, 4) as usize;
+    let mut targets: Vec<u8> = Vec::new();
+    while targets.len() < n_targets {
+        let c = rng.gen_range(0, 6) as u8;
+        if !targets.contains(&c) {
+            targets.push(c);
+        }
+    }
+    targets.sort_unstable();
+    TxPlan {
+        targets,
+        reads: vec_of(rng, 0, 2, |r| r.gen_range(0, 6) as u8),
+        work: rng.gen_range(0, 80),
+    }
 }
 
-fn kind_strategy() -> impl Strategy<Value = SignatureKind> {
-    prop_oneof![
-        Just(SignatureKind::Perfect),
-        Just(SignatureKind::paper_bs_2kb()),
-        Just(SignatureKind::paper_bs_64()),
-        Just(SignatureKind::paper_dbs_2kb()),
-        Just(SignatureKind::Bloom { bits: 256, k: 2 }),
-    ]
+fn random_plans(rng: &mut Xoshiro256StarStar) -> Vec<Vec<TxPlan>> {
+    vec_of(rng, 2, 5, |r| vec_of(r, 1, 5, random_tx))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn every_committed_increment_lands_exactly_once() {
+    let kinds = [
+        SignatureKind::Perfect,
+        SignatureKind::paper_bs_2kb(),
+        SignatureKind::paper_bs_64(),
+        SignatureKind::paper_dbs_2kb(),
+        SignatureKind::Bloom { bits: 256, k: 2 },
+    ];
+    cases(24, 0x5E21A1, |rng| {
+        let plan = random_plans(rng);
+        let kind = *pick(rng, &kinds);
+        let seed = rng.gen_range(0, 1000);
+        let preempt = rng.gen_bool(0.5);
+        let relocations = vec_of(rng, 0, 2, |r| r.gen_range(100, 20_000));
 
-    #[test]
-    fn every_committed_increment_lands_exactly_once(
-        plan in plans(),
-        kind in kind_strategy(),
-        seed in 0u64..1000,
-        preempt in any::<bool>(),
-        relocations in prop::collection::vec(100u64..20_000, 0..3),
-    ) {
         let mut expected = [0u64; 6];
         for thread in &plan {
             for tx in thread {
@@ -103,9 +108,7 @@ proptest! {
             }
         }
 
-        let mut builder = SystemBuilder::small_for_tests()
-            .signature(kind)
-            .seed(seed);
+        let mut builder = SystemBuilder::small_for_tests().signature(kind).seed(seed);
         if preempt {
             builder = builder.preemption(Cycle(700), false);
         }
@@ -124,14 +127,18 @@ proptest! {
             }));
         }
         let report = system.run().expect("fuzzed run completes");
-        prop_assert_eq!(report.threads_completed, n_threads);
+        assert_eq!(report.threads_completed, n_threads);
         for (i, &want) in expected.iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 system.read_word(counter(i as u8)),
                 want,
                 "counter {} ({} threads, {}, preempt={}, {} relocations)",
-                i, n_threads, kind, preempt, relocations.len()
+                i,
+                n_threads,
+                kind,
+                preempt,
+                relocations.len()
             );
         }
-    }
+    });
 }

@@ -1,8 +1,10 @@
 //! Property-based protocol tests: arbitrary access interleavings must
 //! uphold the MESI single-writer/multi-reader invariant under both
 //! coherence substrates, with and without transactional (sticky) blocks.
+//! Randomized deterministically through `ltse_sim::check`.
 
-use proptest::prelude::*;
+use ltse_sim::check::{cases, vec_of};
+use ltse_sim::rng::Xoshiro256StarStar;
 
 use ltse_mem::{
     AccessKind, AccessOutcome, BlockAddr, CoherenceKind, ConflictOracle, MemConfig, MemorySystem,
@@ -16,15 +18,12 @@ struct Access {
     block: u64,
 }
 
-fn accesses(n_ctxs: u32, blocks: u64) -> impl Strategy<Value = Vec<Access>> {
-    prop::collection::vec(
-        (0..n_ctxs, any::<bool>(), 0..blocks).prop_map(|(ctx, store, block)| Access {
-            ctx,
-            store,
-            block,
-        }),
-        1..200,
-    )
+fn accesses(rng: &mut Xoshiro256StarStar, n_ctxs: u32, blocks: u64) -> Vec<Access> {
+    vec_of(rng, 1, 200, |r| Access {
+        ctx: r.gen_range(0, n_ctxs as u64) as u32,
+        store: r.gen_bool(0.5),
+        block: r.gen_range(0, blocks),
+    })
 }
 
 /// MESI's fundamental safety property over the simulated L1s.
@@ -51,58 +50,72 @@ fn assert_mesi_invariant(m: &MemorySystem, blocks: u64) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn mesi_invariant_holds_under_directory(seq in accesses(8, 24)) {
+#[test]
+fn mesi_invariant_holds_under_directory() {
+    cases(48, 0xD12EC7, |rng| {
+        let seq = accesses(rng, 8, 24);
         let mut m = MemorySystem::new(MemConfig::small_for_tests());
         for a in &seq {
-            let out = m.access(a.ctx, if a.store { AccessKind::Store } else { AccessKind::Load },
-                               BlockAddr(a.block), &NullOracle);
-            prop_assert!(out.is_done(), "no transactions ⇒ no NACKs");
+            let out = m.access(
+                a.ctx,
+                if a.store { AccessKind::Store } else { AccessKind::Load },
+                BlockAddr(a.block),
+                &NullOracle,
+            );
+            assert!(out.is_done(), "no transactions ⇒ no NACKs");
             assert_mesi_invariant(&m, 24);
         }
-    }
+    });
+}
 
-    #[test]
-    fn mesi_invariant_holds_under_snooping(seq in accesses(8, 24)) {
+#[test]
+fn mesi_invariant_holds_under_snooping() {
+    cases(48, 0x5700D, |rng| {
+        let seq = accesses(rng, 8, 24);
         let mut cfg = MemConfig::small_for_tests();
         cfg.coherence = CoherenceKind::SnoopingMesi;
         let mut m = MemorySystem::new(cfg);
         for a in &seq {
-            let out = m.access(a.ctx, if a.store { AccessKind::Store } else { AccessKind::Load },
-                               BlockAddr(a.block), &NullOracle);
-            prop_assert!(out.is_done());
+            let out = m.access(
+                a.ctx,
+                if a.store { AccessKind::Store } else { AccessKind::Load },
+                BlockAddr(a.block),
+                &NullOracle,
+            );
+            assert!(out.is_done());
             assert_mesi_invariant(&m, 24);
+        }
+    });
+}
+
+#[test]
+fn nacks_never_mutate_protocol_state() {
+    // An oracle that NACKs every access to the guarded blocks from
+    // anyone but context 0, and treats them as transactional.
+    #[derive(Debug)]
+    struct Guard(Vec<u64>);
+    impl ConflictOracle for Guard {
+        fn check_core(&self, core: u8, _k: AccessKind, b: BlockAddr, req: u32) -> Option<u32> {
+            (core == 0 && req != 0 && self.0.contains(&b.0)).then_some(0)
+        }
+        fn block_is_transactional_hw(&self, core: u8, b: BlockAddr) -> bool {
+            core == 0 && self.0.contains(&b.0)
+        }
+        fn block_is_transactional_exact(&self, core: u8, b: BlockAddr) -> bool {
+            self.block_is_transactional_hw(core, b)
         }
     }
 
-    #[test]
-    fn nacks_never_mutate_protocol_state(seq in accesses(8, 16),
-                                         guarded in prop::collection::vec(0u64..16, 1..4)) {
-        // An oracle that NACKs every access to the guarded blocks from
-        // anyone but context 0, and treats them as transactional.
-        #[derive(Debug)]
-        struct Guard(Vec<u64>);
-        impl ConflictOracle for Guard {
-            fn check_core(&self, core: u8, _k: AccessKind, b: BlockAddr, req: u32) -> Option<u32> {
-                (core == 0 && req != 0 && self.0.contains(&b.0)).then_some(0)
-            }
-            fn block_is_transactional_hw(&self, core: u8, b: BlockAddr) -> bool {
-                core == 0 && self.0.contains(&b.0)
-            }
-            fn block_is_transactional_exact(&self, core: u8, b: BlockAddr) -> bool {
-                self.block_is_transactional_hw(core, b)
-            }
-        }
+    cases(48, 0x4ACC5, |rng| {
+        let seq = accesses(rng, 8, 16);
+        let guarded = vec_of(rng, 1, 3, |r| r.gen_range(0, 16));
         let oracle = Guard(guarded.clone());
         let mut m = MemorySystem::new(MemConfig::small_for_tests());
         // Context 0 (core 0) touches every guarded block first, so the
         // directory routes later requests through core 0's signature.
         for &g in &guarded {
             let out = m.access(0, AccessKind::Store, BlockAddr(g), &oracle);
-            prop_assert!(out.is_done(), "owner's own access can't be NACKed");
+            assert!(out.is_done(), "owner's own access can't be NACKed");
         }
         for a in &seq {
             let kind = if a.store { AccessKind::Store } else { AccessKind::Load };
@@ -112,21 +125,24 @@ proptest! {
             let before_dir = m.dir_entry(BlockAddr(a.block));
             let out = m.access(a.ctx, kind, BlockAddr(a.block), &oracle);
             if let AccessOutcome::Nacked { nacker, .. } = out {
-                prop_assert_eq!(nacker, 0);
+                assert_eq!(nacker, 0);
                 // NACK must not have changed any state for this block.
                 let after_states: Vec<String> = (0..m.config().n_cores)
                     .map(|c| m.l1_state_str(c, BlockAddr(a.block)).to_string())
                     .collect();
-                prop_assert_eq!(&before_states, &after_states);
-                prop_assert_eq!(before_dir, m.dir_entry(BlockAddr(a.block)));
+                assert_eq!(&before_states, &after_states);
+                assert_eq!(before_dir, m.dir_entry(BlockAddr(a.block)));
             }
             assert_mesi_invariant(&m, 16);
         }
-    }
+    });
+}
 
-    #[test]
-    fn word_values_match_a_flat_model(writes in prop::collection::vec((0u64..64, 1u64..1000), 1..80)) {
-        use ltse_mem::WordAddr;
+#[test]
+fn word_values_match_a_flat_model() {
+    use ltse_mem::WordAddr;
+    cases(48, 0xF1A7, |rng| {
+        let writes = vec_of(rng, 1, 80, |r| (r.gen_range(0, 64), r.gen_range(1, 1000)));
         let mut m = MemorySystem::new(MemConfig::small_for_tests());
         let mut model = std::collections::HashMap::new();
         for (addr, val) in &writes {
@@ -135,7 +151,7 @@ proptest! {
             model.insert(*addr, *val);
         }
         for (addr, val) in &model {
-            prop_assert_eq!(m.read_word(WordAddr(*addr)), *val);
+            assert_eq!(m.read_word(WordAddr(*addr)), *val);
         }
-    }
+    });
 }

@@ -13,8 +13,10 @@ use std::fmt::Debug;
 /// runtime can park in a log frame and later [`Signature::restore`].
 ///
 /// This trait is object safe; thread contexts hold `Box<dyn Signature>` so a
-/// system can be configured with any implementation at run time.
-pub trait Signature: Debug {
+/// system can be configured with any implementation at run time. `Send` is a
+/// supertrait so whole simulated systems can move across OS threads in the
+/// parallel experiment runner.
+pub trait Signature: Debug + Send {
     /// `INSERT(A)`: adds block address `a` to the summarized set.
     fn insert(&mut self, a: u64);
 

@@ -1,85 +1,116 @@
 //! Property-based tests for the signature invariants the paper's correctness
 //! argument rests on: no false negatives, clear releases everything, union is
 //! an over-approximation of set union, and save/restore is lossless.
+//! Randomized deterministically through `ltse_sim::check`.
 
-use proptest::prelude::*;
+use ltse_sim::check::{cases, vec_of};
+use ltse_sim::rng::Xoshiro256StarStar;
 
 use ltse_sig::{
     ConflictVerdict, CountingSignature, ReadWriteSignature, ShadowedRwSignature, SigOp,
     SignatureKind,
 };
 
-fn kind_strategy() -> impl Strategy<Value = SignatureKind> {
-    prop_oneof![
-        Just(SignatureKind::Perfect),
-        (4usize..=12).prop_map(|n| SignatureKind::BitSelect { bits: 1 << n }),
-        (4usize..=12).prop_map(|n| SignatureKind::DoubleBitSelect { bits: 1 << n }),
-        (4usize..=12).prop_map(|n| SignatureKind::CoarseBitSelect {
-            bits: 1 << n,
+fn random_kind(rng: &mut Xoshiro256StarStar) -> SignatureKind {
+    match rng.gen_index(5) {
+        0 => SignatureKind::Perfect,
+        1 => SignatureKind::BitSelect {
+            bits: 1 << rng.gen_range(4, 13),
+        },
+        2 => SignatureKind::DoubleBitSelect {
+            bits: 1 << rng.gen_range(4, 13),
+        },
+        3 => SignatureKind::CoarseBitSelect {
+            bits: 1 << rng.gen_range(4, 13),
             blocks_per_macroblock: 16,
-        }),
-        ((6usize..=12), (1u32..=6)).prop_map(|(n, k)| SignatureKind::Bloom { bits: 1 << n, k }),
-    ]
+        },
+        _ => SignatureKind::Bloom {
+            bits: 1 << rng.gen_range(6, 13),
+            k: rng.gen_range(1, 7) as u32,
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn no_false_negatives(kind in kind_strategy(), addrs in prop::collection::vec(0u64..1 << 32, 1..200)) {
+#[test]
+fn no_false_negatives() {
+    cases(64, 0xF0151, |rng| {
+        let kind = random_kind(rng);
+        let addrs = vec_of(rng, 1, 200, |r| r.gen_range(0, 1 << 32));
         let mut sig = kind.build();
         for &a in &addrs {
             sig.insert(a);
         }
         for &a in &addrs {
-            prop_assert!(sig.maybe_contains(a), "{kind} lost {a:#x}");
+            assert!(sig.maybe_contains(a), "{kind} lost {a:#x}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn clear_releases_everything_inserted(kind in kind_strategy(), addrs in prop::collection::vec(0u64..1 << 32, 1..100)) {
+#[test]
+fn clear_releases_everything_inserted() {
+    cases(64, 0xC1EA2, |rng| {
+        let kind = random_kind(rng);
+        let addrs = vec_of(rng, 1, 100, |r| r.gen_range(0, 1 << 32));
         let mut sig = kind.build();
         for &a in &addrs {
             sig.insert(a);
         }
         sig.clear();
-        prop_assert!(sig.is_empty());
+        assert!(sig.is_empty());
         // Perfect signatures must drop every address; hashed ones must too
         // because all bits are zero.
         for &a in &addrs {
-            prop_assert!(!sig.maybe_contains(a));
+            assert!(!sig.maybe_contains(a));
         }
-    }
+    });
+}
 
-    #[test]
-    fn union_superset_of_both(kind in kind_strategy(),
-                              a_addrs in prop::collection::vec(0u64..1 << 24, 0..60),
-                              b_addrs in prop::collection::vec(0u64..1 << 24, 0..60)) {
+#[test]
+fn union_superset_of_both() {
+    cases(64, 0x04107, |rng| {
+        let kind = random_kind(rng);
+        let a_addrs = vec_of(rng, 0, 60, |r| r.gen_range(0, 1 << 24));
+        let b_addrs = vec_of(rng, 0, 60, |r| r.gen_range(0, 1 << 24));
         let mut a = kind.build();
         let mut b = kind.build();
-        for &x in &a_addrs { a.insert(x); }
-        for &x in &b_addrs { b.insert(x); }
+        for &x in &a_addrs {
+            a.insert(x);
+        }
+        for &x in &b_addrs {
+            b.insert(x);
+        }
         a.union_with(b.as_ref());
         for &x in a_addrs.iter().chain(&b_addrs) {
-            prop_assert!(a.maybe_contains(x));
+            assert!(a.maybe_contains(x));
         }
-    }
+    });
+}
 
-    #[test]
-    fn save_restore_is_lossless(kind in kind_strategy(), addrs in prop::collection::vec(0u64..1 << 32, 0..100)) {
+#[test]
+fn save_restore_is_lossless() {
+    cases(64, 0x5A7E, |rng| {
+        let kind = random_kind(rng);
+        let addrs = vec_of(rng, 0, 100, |r| r.gen_range(0, 1 << 32));
         let mut sig = kind.build();
-        for &a in &addrs { sig.insert(a); }
+        for &a in &addrs {
+            sig.insert(a);
+        }
         let saved = sig.save();
         let mut fresh = kind.build();
         fresh.restore(&saved);
         for &a in &addrs {
-            prop_assert!(fresh.maybe_contains(a));
+            assert!(fresh.maybe_contains(a));
         }
-        prop_assert_eq!(fresh.saturation(), sig.saturation());
-    }
+        assert_eq!(fresh.saturation(), sig.saturation());
+    });
+}
 
-    #[test]
-    fn shadow_never_sees_false_negative(kind in kind_strategy(),
-                                        writes in prop::collection::vec(0u64..1 << 20, 0..50),
-                                        probes in prop::collection::vec(0u64..1 << 20, 0..50)) {
+#[test]
+fn shadow_never_sees_false_negative() {
+    cases(64, 0x5AD0, |rng| {
+        let kind = random_kind(rng);
+        let writes = vec_of(rng, 0, 50, |r| r.gen_range(0, 1 << 20));
+        let probes = vec_of(rng, 0, 50, |r| r.gen_range(0, 1 << 20));
         let mut rw = ShadowedRwSignature::new(&kind);
         for &w in &writes {
             rw.insert(SigOp::Write, w);
@@ -89,62 +120,78 @@ proptest! {
         for &p in &probes {
             let v = rw.classify(SigOp::Write, p);
             if writes.contains(&p) {
-                prop_assert_eq!(v, ConflictVerdict::True);
+                assert_eq!(v, ConflictVerdict::True);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn rw_conflict_semantics(kind in kind_strategy(), addr in 0u64..1 << 20) {
+#[test]
+fn rw_conflict_semantics() {
+    cases(64, 0x2BC0, |rng| {
+        let kind = random_kind(rng);
+        let addr = rng.gen_range(0, 1 << 20);
         // Write-write and read-write always conflict on the same address;
         // read-read never conflicts (checked exactly only for Perfect).
         let mut w = ReadWriteSignature::new(&kind);
         w.insert(SigOp::Write, addr);
-        prop_assert!(w.conflicts_with(SigOp::Read, addr));
-        prop_assert!(w.conflicts_with(SigOp::Write, addr));
+        assert!(w.conflicts_with(SigOp::Read, addr));
+        assert!(w.conflicts_with(SigOp::Write, addr));
 
         let mut r = ReadWriteSignature::new(&kind);
         r.insert(SigOp::Read, addr);
-        prop_assert!(r.conflicts_with(SigOp::Write, addr));
+        assert!(r.conflicts_with(SigOp::Write, addr));
         if kind == SignatureKind::Perfect {
-            prop_assert!(!r.conflicts_with(SigOp::Read, addr));
+            assert!(!r.conflicts_with(SigOp::Read, addr));
         }
-    }
+    });
+}
 
-    #[test]
-    fn counting_signature_matches_naive_union(
-        n_threads in 1usize..6,
-        per_thread in prop::collection::vec(prop::collection::vec(0u64..1 << 16, 0..30), 1..6),
-    ) {
-        let _ = n_threads;
+#[test]
+fn counting_signature_matches_naive_union() {
+    cases(64, 0xC0047, |rng| {
+        let per_thread: Vec<Vec<u64>> =
+            vec_of(rng, 1, 5, |r| vec_of(r, 0, 30, |r2| r2.gen_range(0, 1 << 16)));
         let kind = SignatureKind::BitSelect { bits: 512 };
         let mut counting = CountingSignature::new(512);
-        let saves: Vec<_> = per_thread.iter().map(|addrs| {
-            let mut s = kind.build();
-            for &a in addrs { s.insert(a); }
-            s.save()
-        }).collect();
-        for s in &saves { counting.add(s); }
+        let saves: Vec<_> = per_thread
+            .iter()
+            .map(|addrs| {
+                let mut s = kind.build();
+                for &a in addrs {
+                    s.insert(a);
+                }
+                s.save()
+            })
+            .collect();
+        for s in &saves {
+            counting.add(s);
+        }
         // Remove the first thread; the remainder must still cover threads 1..
         if saves.len() > 1 {
             counting.remove(&saves[0]);
             let m = counting.materialize(&kind);
             for addrs in per_thread.iter().skip(1) {
                 for &a in addrs {
-                    prop_assert!(m.maybe_contains(a));
+                    assert!(m.maybe_contains(a));
                 }
             }
         }
         // Removing everything empties the structure.
-        for s in saves.iter().skip(1) { counting.remove(s); }
-        if saves.len() > 1 {
-            prop_assert!(!counting.any_set());
+        for s in saves.iter().skip(1) {
+            counting.remove(s);
         }
-    }
+        if saves.len() > 1 {
+            assert!(!counting.any_set());
+        }
+    });
+}
 
-    #[test]
-    fn rehash_page_covers_new_locations(kind in kind_strategy(),
-                                        offsets in prop::collection::vec(0u64..64, 1..20)) {
+#[test]
+fn rehash_page_covers_new_locations() {
+    cases(64, 0x2E4A54, |rng| {
+        let kind = random_kind(rng);
+        let offsets = vec_of(rng, 1, 20, |r| r.gen_range(0, 64));
         let old_base = 1024u64;
         let new_base = 8192u64;
         let mut sig = kind.build();
@@ -153,8 +200,8 @@ proptest! {
         }
         sig.rehash_page(old_base, new_base, 64);
         for &o in &offsets {
-            prop_assert!(sig.maybe_contains(old_base + o), "old retained");
-            prop_assert!(sig.maybe_contains(new_base + o), "new covered");
+            assert!(sig.maybe_contains(old_base + o), "old retained");
+            assert!(sig.maybe_contains(new_base + o), "new covered");
         }
-    }
+    });
 }

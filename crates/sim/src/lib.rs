@@ -13,6 +13,11 @@
 //! * [`stats`] — counters, histograms, and Student-t 95 % confidence
 //!   intervals matching the paper's multi-seed perturbation methodology
 //!   (§6.1 of the paper, citing Alameldeen & Wood, HPCA 2003).
+//! * [`parallel`] — a fixed-size worker pool that fans independent
+//!   simulations out over OS threads with deterministic (submission-order)
+//!   results and per-run panic isolation.
+//! * [`check`] — a dependency-free deterministic randomized-testing
+//!   harness used by the workspace's property tests.
 //!
 //! # Example
 //!
@@ -38,7 +43,9 @@
 mod event;
 mod time;
 
+pub mod check;
 pub mod config;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod trace;

@@ -372,6 +372,38 @@ mod tests {
     }
 
     #[test]
+    fn summary_merge_matches_sequential_recording() {
+        // The parallel runner keeps one Summary per worker and merges them
+        // at join; the merged aggregate must equal recording the same
+        // stream into a single Summary, regardless of how the stream was
+        // split across workers.
+        let stream: Vec<u64> = (0..97).map(|i| (i * 7919) % 1000).collect();
+        let mut sequential = Summary::new();
+        for &v in &stream {
+            sequential.record(v);
+        }
+        for n_workers in [1, 2, 3, 8] {
+            let mut locals = vec![Summary::new(); n_workers];
+            for (i, &v) in stream.iter().enumerate() {
+                locals[i % n_workers].record(v);
+            }
+            let mut merged = Summary::new();
+            for local in &locals {
+                merged.merge(local);
+            }
+            assert_eq!(merged, sequential, "{n_workers} workers");
+        }
+    }
+
+    #[test]
+    fn summary_merge_of_empties_is_empty() {
+        let mut a = Summary::new();
+        a.merge(&Summary::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), None);
+    }
+
+    #[test]
     fn histogram_percentiles() {
         let mut h = Histogram::new();
         for v in 1..=100 {

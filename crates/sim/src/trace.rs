@@ -148,6 +148,48 @@ mod tests {
     }
 
     #[test]
+    fn exactly_at_capacity_drops_nothing() {
+        let mut t = TraceBuffer::new(4);
+        for i in 0..4u64 {
+            t.push(Cycle(i), "T", format!("e{i}"));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 0);
+        assert!(!t.dump().contains("dropped"));
+        // The next push crosses the boundary: exactly one eviction.
+        t.push(Cycle(4), "T", "e4".into());
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 1);
+        let kept: Vec<&str> = t.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(kept, vec!["e1", "e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_latest() {
+        let mut t = TraceBuffer::new(1);
+        for i in 0..5u64 {
+            t.push(Cycle(i), "T", format!("e{i}"));
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 4);
+        assert_eq!(t.iter().next().unwrap().detail, "e4");
+    }
+
+    #[test]
+    fn dropped_accounting_survives_filtering() {
+        // `with_tag` is a view; it must not disturb eviction accounting,
+        // and evictions must not under-count filtered tags.
+        let mut t = TraceBuffer::new(2);
+        t.push(Cycle(1), "NACK", "a".into());
+        t.push(Cycle(2), "COMMIT", "b".into());
+        t.push(Cycle(3), "NACK", "c".into()); // evicts the first NACK
+        assert_eq!(t.with_tag("NACK").count(), 1);
+        assert_eq!(t.with_tag("COMMIT").count(), 1);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
     fn display_format() {
         let e = TraceEntry {
             at: Cycle(42),

@@ -1,13 +1,14 @@
 //! Property tests for the deterministic event queue — the kernel everything
-//! else's reproducibility rests on.
+//! else's reproducibility rests on. Randomized deterministically through
+//! `ltse_sim::check` (no external fuzzing dependency).
 
-use proptest::prelude::*;
-
+use ltse_sim::check::{cases, vec_of};
 use ltse_sim::{Cycle, EventQueue};
 
-proptest! {
-    #[test]
-    fn pops_are_sorted_and_fifo_within_ties(times in prop::collection::vec(0u64..100, 1..200)) {
+#[test]
+fn pops_are_sorted_and_fifo_within_ties() {
+    cases(96, 0x51A7ED, |rng| {
+        let times = vec_of(rng, 1, 200, |r| r.gen_range(0, 100));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(Cycle(t), i);
@@ -16,17 +17,20 @@ proptest! {
         while let Some((at, id)) = q.pop() {
             popped.push((at, id));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time-ordered");
+            assert!(w[0].0 <= w[1].0, "time-ordered");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO among equal times");
+                assert!(w[0].1 < w[1].1, "FIFO among equal times");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn interleaved_push_pop_never_goes_backwards(ops in prop::collection::vec((any::<bool>(), 0u64..50), 1..300)) {
+#[test]
+fn interleaved_push_pop_never_goes_backwards() {
+    cases(96, 0xC10C4, |rng| {
+        let ops = vec_of(rng, 1, 300, |r| (r.gen_bool(0.5), r.gen_range(0, 50)));
         let mut q = EventQueue::new();
         let mut last = Cycle::ZERO;
         let mut pending = 0usize;
@@ -37,20 +41,23 @@ proptest! {
                 pending += 1;
             } else {
                 let (at, ()) = q.pop().expect("pending > 0");
-                prop_assert!(at >= last, "clock must be monotone");
+                assert!(at >= last, "clock must be monotone");
                 last = at;
                 pending -= 1;
             }
         }
-        prop_assert_eq!(q.len(), pending);
-    }
+        assert_eq!(q.len(), pending);
+    });
+}
 
-    #[test]
-    fn seed_sequences_are_injective_per_base(base in any::<u64>()) {
+#[test]
+fn seed_sequences_are_injective_per_base() {
+    cases(64, 0x5EED5, |rng| {
+        let base = rng.next_u64();
         let seeds = ltse_sim::config::seed_sequence(base, 32);
         let mut dedup = seeds.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), seeds.len());
-    }
+        assert_eq!(dedup.len(), seeds.len());
+    });
 }

@@ -1,10 +1,12 @@
 //! Model-based property tests for eager version management: arbitrary
 //! sequences of nested begins, transactional stores, commits, and aborts
 //! must leave memory exactly as a snapshot-stack model predicts.
+//! Randomized deterministically through `ltse_sim::check`.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
+use ltse_sim::check::{cases, pick_weighted, vec_of};
+use ltse_sim::rng::Xoshiro256StarStar;
 
 use ltse_mem::{Asid, BlockAddr, WordAddr, WORDS_PER_BLOCK};
 use ltse_sig::{SigOp, SignatureKind};
@@ -21,17 +23,17 @@ enum Step {
     AbortAll,
 }
 
-fn steps() -> impl Strategy<Value = Vec<Step>> {
-    prop::collection::vec(
-        prop_oneof![
-            2 => any::<bool>().prop_map(Step::Begin),
-            5 => (0u64..12, 1u64..1_000_000).prop_map(|(block, value)| Step::Store { block, value }),
-            3 => Just(Step::Commit),
-            1 => Just(Step::AbortInner),
-            1 => Just(Step::AbortAll),
-        ],
-        1..60,
-    )
+fn steps(rng: &mut Xoshiro256StarStar) -> Vec<Step> {
+    vec_of(rng, 1, 60, |r| match pick_weighted(r, &[2, 5, 3, 1, 1]) {
+        0 => Step::Begin(r.gen_bool(0.5)),
+        1 => Step::Store {
+            block: r.gen_range(0, 12),
+            value: r.gen_range(1, 1_000_000),
+        },
+        2 => Step::Commit,
+        3 => Step::AbortInner,
+        _ => Step::AbortAll,
+    })
 }
 
 /// A reference model: flat memory plus a stack of (kind, snapshot) frames.
@@ -57,12 +59,16 @@ fn read_block(memory: &HashMap<u64, u64>, block: u64) -> [u64; WORDS_PER_BLOCK a
     std::array::from_fn(|i| memory.get(&(base + i as u64)).copied().unwrap_or(0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn log_matches_snapshot_model(script in steps(), kind_sel in 0usize..3) {
-        let kind = [SignatureKind::Perfect, SignatureKind::paper_bs_2kb(), SignatureKind::paper_bs_64()][kind_sel];
+#[test]
+fn log_matches_snapshot_model() {
+    cases(128, 0x10906, |rng| {
+        let script = steps(rng);
+        let kind_sel = rng.gen_index(3);
+        let kind = [
+            SignatureKind::Perfect,
+            SignatureKind::paper_bs_2kb(),
+            SignatureKind::paper_bs_64(),
+        ][kind_sel];
         let config = TmConfig::default_with(kind);
         let mut tm = ThreadTmState::new(0, Asid(0), &config, WordAddr(1 << 44), 7);
         let mut model = Model::new();
@@ -143,8 +149,10 @@ proptest! {
                     tm.abort_innermost(&config, &mut |base, old| restores.push((base, *old)));
                     let (_, snapshot) = model.frames.pop().expect("frame");
                     apply_restores(&mut model.memory, &restores);
-                    prop_assert_eq!(&model.memory, &snapshot,
-                        "partial abort must restore the inner begin's snapshot");
+                    assert_eq!(
+                        &model.memory, &snapshot,
+                        "partial abort must restore the inner begin's snapshot"
+                    );
                 }
                 Step::AbortAll => {
                     if model.frames.is_empty() {
@@ -160,16 +168,18 @@ proptest! {
                     let (_, oldest) = model.frames.first().cloned().expect("frame");
                     model.frames.clear();
                     apply_restores(&mut model.memory, &restores);
-                    prop_assert_eq!(&model.memory, &oldest,
-                        "full abort must restore the outermost begin's snapshot");
+                    assert_eq!(
+                        &model.memory, &oldest,
+                        "full abort must restore the outermost begin's snapshot"
+                    );
                 }
             }
 
             // Invariants that must hold continuously.
-            prop_assert_eq!(tm.depth(), model.frames.len());
-            prop_assert_eq!(tm.in_tx(), !model.frames.is_empty());
+            assert_eq!(tm.depth(), model.frames.len());
+            assert_eq!(tm.in_tx(), !model.frames.is_empty());
         }
-    }
+    });
 }
 
 fn apply_restores(memory: &mut HashMap<u64, u64>, restores: &[(WordAddr, [u64; 8])]) {

@@ -76,7 +76,11 @@ pub struct Section {
 }
 
 /// A deterministic stream of sections — the essence of one workload thread.
-pub trait SectionSource {
+///
+/// Sources must be [`Send`] so whole configured systems (and thus the
+/// [`CsProgram`]s wrapping these sources) can cross OS threads when sweeps
+/// fan out over the parallel experiment runner.
+pub trait SectionSource: Send {
     /// The next section, or `None` when the thread's work is exhausted.
     fn next_section(&mut self, rng: &mut Xoshiro256StarStar) -> Option<Section>;
 }

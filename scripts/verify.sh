@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + tests, then a determinism smoke of the
+# parallel experiment runner (quick-scale repro on 1 vs. 4 workers must
+# produce byte-identical stdout).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: cargo build --release =="
+cargo build --release
+
+echo "== tier 1: cargo test -q =="
+cargo test -q
+
+echo "== determinism smoke: repro --quick, 1 vs. 4 workers =="
+repro=target/release/repro
+out1=$(mktemp) out4=$(mktemp)
+trap 'rm -f "$out1" "$out4"' EXIT
+
+t_start=$(date +%s%N)
+"$repro" --quick --jobs 1 all >"$out1" 2>/dev/null
+t_mid=$(date +%s%N)
+"$repro" --quick --jobs 4 all >"$out4" 2>/dev/null
+t_end=$(date +%s%N)
+
+if ! cmp -s "$out1" "$out4"; then
+    echo "FAIL: quick repro stdout differs between --jobs 1 and --jobs 4" >&2
+    diff "$out1" "$out4" | head -40 >&2
+    exit 1
+fi
+echo "ok: stdout byte-identical across worker counts ($(wc -c <"$out1") bytes)"
+
+# LTSE_JOBS env-var path: must also match.
+LTSE_JOBS=4 "$repro" --quick all >"$out4" 2>/dev/null
+if ! cmp -s "$out1" "$out4"; then
+    echo "FAIL: LTSE_JOBS=4 stdout differs from --jobs 1" >&2
+    exit 1
+fi
+echo "ok: LTSE_JOBS env path matches"
+
+ms1=$(( (t_mid - t_start) / 1000000 ))
+ms4=$(( (t_end - t_mid) / 1000000 ))
+echo "wall: ${ms1} ms on 1 worker, ${ms4} ms on 4 workers"
+cores=$(nproc 2>/dev/null || echo 1)
+if [ "$cores" -ge 4 ]; then
+    # Expect real parallel speedup when the hardware can provide it.
+    if [ "$ms4" -gt $(( ms1 * 3 / 4 )) ]; then
+        echo "WARN: <1.33x speedup on $cores cores (${ms1} -> ${ms4} ms)" >&2
+    fi
+else
+    echo "note: only $cores core(s) available; skipping speedup check"
+fi
+
+echo "== verify OK =="

@@ -187,7 +187,7 @@ fn ticket_locks_complete_the_suite_and_are_fairer() {
     let spread = |mode: SyncMode| -> f64 {
         struct Finish {
             inner: CsProgram<SharedCounter>,
-            done_at: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+            done_at: std::sync::Arc<std::sync::Mutex<Vec<u64>>>,
             finished: bool,
         }
         impl logtm_se::ThreadProgram for Finish {
@@ -195,7 +195,7 @@ fn ticket_locks_complete_the_suite_and_are_fairer() {
                 let op = self.inner.next_op(t);
                 if matches!(op, logtm_se::Op::Done) && !self.finished {
                     self.finished = true;
-                    self.done_at.borrow_mut().push(t.now.as_u64());
+                    self.done_at.lock().unwrap().push(t.now.as_u64());
                 }
                 op
             }
@@ -203,7 +203,7 @@ fn ticket_locks_complete_the_suite_and_are_fairer() {
                 self.inner.on_tx_abort(t);
             }
         }
-        let done_at = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let done_at = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut system = SystemBuilder::paper_default().seed(39).build();
         for t in 0..8u64 {
             system.add_thread(Box::new(Finish {
@@ -217,7 +217,7 @@ fn ticket_locks_complete_the_suite_and_are_fairer() {
             }));
         }
         let r = system.run().unwrap();
-        let times = done_at.borrow();
+        let times = done_at.lock().unwrap();
         let first = *times.iter().min().unwrap() as f64;
         let last = *times.iter().max().unwrap() as f64;
         (last - first) / r.cycles.as_u64() as f64
