@@ -41,6 +41,7 @@ pub struct SystemBuilder {
     pub(crate) preemption: Option<PreemptionConfig>,
     pub(crate) trace_capacity: usize,
     pub(crate) warmup_units: u64,
+    pub(crate) check_serializability: bool,
 }
 
 impl SystemBuilder {
@@ -54,6 +55,7 @@ impl SystemBuilder {
             preemption: None,
             trace_capacity: 0,
             warmup_units: 0,
+            check_serializability: false,
         }
     }
 
@@ -68,6 +70,7 @@ impl SystemBuilder {
             preemption: None,
             trace_capacity: 0,
             warmup_units: 0,
+            check_serializability: false,
         }
     }
 
@@ -158,6 +161,27 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches a differential serializability oracle to the run: every
+    /// committed transaction is replayed, in commit order, against a
+    /// sequential reference memory, checking read values, final state, and
+    /// post-transaction hardware invariants. Errors are collected and
+    /// returned by [`crate::System::finish_checks`]. Meant for the schedule
+    /// explorer (`ltse_sim::explore`) and correctness tests; adds per-access
+    /// bookkeeping, so leave it off for performance experiments.
+    pub fn check_serializability(mut self, enabled: bool) -> Self {
+        self.check_serializability = enabled;
+        self
+    }
+
+    /// **Test-only fault injection** (see
+    /// [`ltse_tm::TmConfig::fault_skip_one_undo`]): makes the abort handler
+    /// skip one undo record, so checker tests can prove the oracle catches a
+    /// broken undo path.
+    pub fn fault_skip_one_undo(mut self, enabled: bool) -> Self {
+        self.tm.fault_skip_one_undo = enabled;
+        self
+    }
+
     /// Sets the watchdog limits.
     pub fn limits(mut self, limits: SimLimits) -> Self {
         self.limits = limits;
@@ -221,8 +245,12 @@ mod tests {
             .sticky(false)
             .log_filter_entries(0)
             .seed(99)
+            .check_serializability(true)
+            .fault_skip_one_undo(true)
             .preemption(Cycle(100), true);
         assert_eq!(b.tm.signature, SignatureKind::paper_bs_64());
+        assert!(b.check_serializability);
+        assert!(b.tm.fault_skip_one_undo);
         assert_eq!(b.mem.coherence, CoherenceKind::SnoopingMesi);
         assert!(!b.mem.sticky_enabled);
         assert_eq!(b.tm.log_filter_entries, 0);

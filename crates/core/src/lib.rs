@@ -86,7 +86,7 @@ mod report;
 mod system;
 
 pub use builder::SystemBuilder;
-pub use program::{FnProgram, Op, ProgCtx, ThreadProgram};
+pub use program::{FnProgram, Op, ProgCtx, ScriptOp, ThreadProgram, TxScript};
 pub use report::RunReport;
 pub use system::{RunError, System};
 
@@ -95,8 +95,10 @@ pub use ltse_mem::{
     AccessKind, Asid, BlockAddr, CacheConfig, CoherenceKind, CtxId, LatencyConfig, MemConfig,
     PageId, WordAddr,
 };
+pub use ltse_mem::SerializabilityOracle;
 pub use ltse_sig::SignatureKind;
-pub use ltse_sim::{config::SimLimits, Cycle};
+pub use ltse_sim::explore::{explore, ExploreConfig, ExploreReport, Schedule, ScheduleChooser};
+pub use ltse_sim::{config::SimLimits, Cycle, EventChooser};
 pub use ltse_tm::conflict::ContentionPolicy;
 pub use ltse_tm::{NestKind, TmConfig};
 

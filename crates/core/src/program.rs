@@ -137,9 +137,173 @@ impl<F: FnMut(&mut ProgCtx, bool) -> Op + Send> ThreadProgram for FnProgram<F> {
     }
 }
 
+/// One step of a [`TxScript`] transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Load a word.
+    Read(WordAddr),
+    /// Store a literal value.
+    Write(WordAddr, u64),
+    /// Load the word, then store `loaded + delta` as two separate ops — an
+    /// increment that is atomic only thanks to the enclosing transaction,
+    /// the canonical racy unit for the schedule explorer.
+    AddTo(WordAddr, u64),
+    /// Atomic fetch-and-add of `delta`.
+    FetchAdd(WordAddr, u64),
+    /// Compute for the given cycles without touching memory.
+    Work(u64),
+}
+
+/// A declarative transactional program: a list of transactions, each a
+/// sequence of [`ScriptOp`]s. Every transaction is automatically wrapped in
+/// `TxBegin`/`TxCommit`, followed by a `WorkUnitDone`; an abort rewinds to
+/// the failed transaction's `TxBegin`. Purpose-built for the schedule
+/// explorer's differential tests, where workloads must be tiny, restartable,
+/// and oblivious to the interleaving.
+///
+/// ```
+/// use logtm_se::{SystemBuilder, TxScript, WordAddr};
+///
+/// let mut system = SystemBuilder::small_for_tests().seed(1).build();
+/// system.add_thread(Box::new(TxScript::counter(WordAddr(0), 5)));
+/// system.add_thread(Box::new(TxScript::counter(WordAddr(0), 5)));
+/// system.run().expect("run completes");
+/// assert_eq!(system.read_word(WordAddr(0)), 10);
+/// ```
+pub struct TxScript {
+    txs: Vec<Vec<ScriptOp>>,
+    tx_ix: usize,
+    /// 0 = begin; `1..=W` the expanded micro-ops; `W+1` = commit;
+    /// `W+2` = work-unit marker (`W` counts `AddTo` twice).
+    micro: usize,
+}
+
+impl TxScript {
+    /// A program running the given transactions in order.
+    pub fn new(txs: Vec<Vec<ScriptOp>>) -> Self {
+        TxScript {
+            txs,
+            tx_ix: 0,
+            micro: 0,
+        }
+    }
+
+    /// `iters` transactions, each incrementing `addr` by a read-then-write
+    /// pair.
+    pub fn counter(addr: WordAddr, iters: usize) -> Self {
+        TxScript::new(vec![vec![ScriptOp::AddTo(addr, 1)]; iters])
+    }
+
+    fn width(op: ScriptOp) -> usize {
+        if matches!(op, ScriptOp::AddTo(..)) {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+impl ThreadProgram for TxScript {
+    fn next_op(&mut self, t: &mut ProgCtx) -> Op {
+        let Some(ops) = self.txs.get(self.tx_ix) else {
+            return Op::Done;
+        };
+        let total: usize = ops.iter().map(|&o| TxScript::width(o)).sum();
+        let step = self.micro;
+        self.micro += 1;
+        if step == 0 {
+            return Op::TxBegin;
+        }
+        if step == total + 1 {
+            return Op::TxCommit;
+        }
+        if step >= total + 2 {
+            self.tx_ix += 1;
+            self.micro = 0;
+            return Op::WorkUnitDone;
+        }
+        let mut at = step - 1;
+        for &op in ops {
+            let w = TxScript::width(op);
+            if at < w {
+                return match (op, at) {
+                    (ScriptOp::Read(a), _) => Op::Read(a),
+                    (ScriptOp::Write(a, v), _) => Op::Write(a, v),
+                    (ScriptOp::AddTo(a, _), 0) => Op::Read(a),
+                    (ScriptOp::AddTo(a, d), _) => Op::Write(a, t.last_value.wrapping_add(d)),
+                    (ScriptOp::FetchAdd(a, d), _) => Op::FetchAdd(a, d),
+                    (ScriptOp::Work(c), _) => Op::Work(c),
+                };
+            }
+            at -= w;
+        }
+        unreachable!("micro-step {step} within width {total}")
+    }
+
+    fn on_tx_abort(&mut self, _t: &mut ProgCtx) {
+        self.micro = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn drive(p: &mut dyn ThreadProgram, last_value: u64) -> Op {
+        let mut rng = Xoshiro256StarStar::new(0);
+        let mut ctx = ProgCtx {
+            thread_id: 0,
+            last_value,
+            now: Cycle(0),
+            rng: &mut rng,
+        };
+        p.next_op(&mut ctx)
+    }
+
+    #[test]
+    fn tx_script_counter_emits_the_canonical_sequence() {
+        let a = WordAddr(7);
+        let mut p = TxScript::counter(a, 2);
+        for round in 0..2 {
+            assert_eq!(drive(&mut p, 0), Op::TxBegin, "round {round}");
+            assert_eq!(drive(&mut p, 0), Op::Read(a));
+            assert_eq!(drive(&mut p, 41), Op::Write(a, 42), "uses last_value");
+            assert_eq!(drive(&mut p, 0), Op::TxCommit);
+            assert_eq!(drive(&mut p, 0), Op::WorkUnitDone);
+        }
+        assert_eq!(drive(&mut p, 0), Op::Done);
+    }
+
+    #[test]
+    fn tx_script_abort_rewinds_to_the_same_begin() {
+        let a = WordAddr(7);
+        let mut p = TxScript::counter(a, 1);
+        assert_eq!(drive(&mut p, 0), Op::TxBegin);
+        assert_eq!(drive(&mut p, 0), Op::Read(a));
+        p.on_tx_abort(&mut ProgCtx {
+            thread_id: 0,
+            last_value: 0,
+            now: Cycle(0),
+            rng: &mut Xoshiro256StarStar::new(0),
+        });
+        assert_eq!(drive(&mut p, 0), Op::TxBegin, "retry from the top");
+    }
+
+    #[test]
+    fn tx_script_mixed_ops_expand_in_order() {
+        let mut p = TxScript::new(vec![vec![
+            ScriptOp::Write(WordAddr(1), 5),
+            ScriptOp::Work(9),
+            ScriptOp::FetchAdd(WordAddr(2), 3),
+        ]]);
+        assert_eq!(drive(&mut p, 0), Op::TxBegin);
+        assert_eq!(drive(&mut p, 0), Op::Write(WordAddr(1), 5));
+        assert_eq!(drive(&mut p, 0), Op::Work(9));
+        assert_eq!(drive(&mut p, 0), Op::FetchAdd(WordAddr(2), 3));
+        assert_eq!(drive(&mut p, 0), Op::TxCommit);
+        assert_eq!(drive(&mut p, 0), Op::WorkUnitDone);
+        assert_eq!(drive(&mut p, 0), Op::Done);
+    }
 
     #[test]
     fn fn_program_signals_abort_once() {

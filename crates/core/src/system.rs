@@ -3,13 +3,13 @@
 use std::collections::{HashMap, VecDeque};
 
 use ltse_mem::{
-    AccessKind, AccessOutcome, Asid, BlockAddr, CtxId, MemorySystem, PageId, WordAddr,
-    WORDS_PER_BLOCK,
+    AccessKind, AccessOutcome, Asid, BlockAddr, CtxId, MemorySystem, PageId,
+    SerializabilityOracle, WordAddr, WORDS_PER_BLOCK,
 };
 use ltse_sim::config::SimLimits;
 use ltse_sim::rng::Xoshiro256StarStar;
 use ltse_sim::trace::TraceBuffer;
-use ltse_sim::{Cycle, EventQueue};
+use ltse_sim::{Cycle, EventChooser, EventQueue};
 use ltse_tm::conflict::Resolution;
 use ltse_tm::{NestKind, OsModel, PreAccessCheck, ThreadTmState, TmUnit};
 
@@ -112,6 +112,21 @@ pub struct System {
     warmup_remaining: u64,
     /// Cycle at which measurement began (warm-up boundary, or 0).
     measure_from: Cycle,
+    /// Differential serializability checker
+    /// ([`SystemBuilder::check_serializability`]); `None` = checking off.
+    oracle: Option<SerializabilityOracle>,
+}
+
+/// Packs an address-space id and a *virtual* word address into an oracle
+/// key. Virtual addresses are stable across page relocation, so the oracle
+/// never sees physical placement.
+fn oracle_key(asid: Asid, vaddr: WordAddr) -> u64 {
+    ((asid.0 as u64) << 48) | vaddr.as_u64()
+}
+
+/// Inverse of [`oracle_key`].
+fn oracle_key_parts(key: u64) -> (Asid, WordAddr) {
+    (Asid((key >> 48) as u16), WordAddr(key & ((1 << 48) - 1)))
 }
 
 impl System {
@@ -139,6 +154,7 @@ impl System {
             trace: (b.trace_capacity > 0).then(|| TraceBuffer::new(b.trace_capacity)),
             warmup_remaining: b.warmup_units,
             measure_from: Cycle::ZERO,
+            oracle: b.check_serializability.then(SerializabilityOracle::new),
         }
     }
 
@@ -217,6 +233,9 @@ impl System {
     pub fn poke_word(&mut self, addr: WordAddr, value: u64) {
         let phys = self.translate(Asid(0), addr);
         self.mem.write_word(phys, value);
+        if let Some(o) = self.oracle.as_mut() {
+            o.init_word(oracle_key(Asid(0), addr), value);
+        }
     }
 
     /// Runs until every thread is done. Returns the collected report.
@@ -227,6 +246,35 @@ impl System {
     /// configuration (no threads; more threads than contexts without
     /// preemption).
     pub fn run(&mut self) -> Result<RunReport, RunError> {
+        self.run_inner(None)
+    }
+
+    /// Runs under schedule-exploration control: whenever several events are
+    /// nearly simultaneous (within `horizon` cycles of the earliest, up to
+    /// `window` candidates), `chooser` picks which fires, via
+    /// [`ltse_sim::EventQueue::pop_explored`]. A FIFO chooser reproduces
+    /// [`System::run`] exactly; a [`ltse_sim::explore::ScheduleChooser`]
+    /// systematically perturbs the interleaving so the explorer can search
+    /// for serializability violations. Timing statistics are still collected
+    /// but are *not* faithful under reordering — use this for correctness
+    /// checking, not performance measurement.
+    ///
+    /// # Errors
+    ///
+    /// As for [`System::run`].
+    pub fn run_explored(
+        &mut self,
+        chooser: &mut dyn EventChooser,
+        window: usize,
+        horizon: Cycle,
+    ) -> Result<RunReport, RunError> {
+        self.run_inner(Some((chooser, window, horizon)))
+    }
+
+    fn run_inner(
+        &mut self,
+        mut explored: Option<(&mut dyn EventChooser, usize, Cycle)>,
+    ) -> Result<RunReport, RunError> {
         if self.threads.is_empty() {
             return Err(RunError::NoThreads);
         }
@@ -249,7 +297,14 @@ impl System {
             self.queue.push(p.quantum, Ev::PreemptTick);
         }
 
-        while let Some((now, ev)) = self.queue.pop() {
+        loop {
+            let next = match explored.as_mut() {
+                Some((chooser, window, horizon)) => {
+                    self.queue.pop_explored(&mut **chooser, *horizon, *window)
+                }
+                None => self.queue.pop(),
+            };
+            let Some((now, ev)) = next else { break };
             self.events_dispatched += 1;
             if now > self.limits.max_cycles {
                 return Err(RunError::CycleLimit {
@@ -293,6 +348,37 @@ impl System {
     /// The TM unit (for inspection in tests/benches).
     pub fn tm(&self) -> &TmUnit {
         &self.tm
+    }
+
+    /// The serializability oracle, if [`SystemBuilder::check_serializability`]
+    /// enabled one (for inspecting replay counters in tests).
+    pub fn oracle(&self) -> Option<&SerializabilityOracle> {
+        self.oracle.as_ref()
+    }
+
+    /// Runs the end-of-run differential checks and drains every recorded
+    /// violation: commit-order replay divergences collected during the run,
+    /// leftover per-context transactional state, and a final-state sweep
+    /// comparing real memory against the sequential reference over every
+    /// touched word. Empty means the run was serializable and clean. Returns
+    /// empty (checking nothing) unless the system was built with
+    /// [`SystemBuilder::check_serializability`].
+    pub fn finish_checks(&mut self) -> Vec<String> {
+        let Some(mut oracle) = self.oracle.take() else {
+            return Vec::new();
+        };
+        for ctx in 0..self.tm.n_ctxs() {
+            for v in self.tm.post_tx_violations(ctx) {
+                oracle.note(v);
+            }
+        }
+        oracle.check_final(|key| {
+            let (asid, vaddr) = oracle_key_parts(key);
+            self.read_word_in(asid, vaddr)
+        });
+        let errors = oracle.take_errors();
+        self.oracle = Some(oracle);
+        errors
     }
 
     // ------------------------------------------------------------------
@@ -396,6 +482,9 @@ impl System {
                 self.trace(now, "BEGIN", || {
                     format!("tid={tid} ctx={ctx} kind={kind:?} nested={was_nested}")
                 });
+                if let Some(o) = self.oracle.as_mut() {
+                    o.begin(tid, kind == NestKind::Open);
+                }
                 let header_addr = self.tm.begin_tx(ctx, kind, now);
                 // The header write is a real store into the (private) log.
                 let out = self.mem.access(ctx, AccessKind::Store, header_addr.block(), &self.tm);
@@ -416,6 +505,14 @@ impl System {
                 if outcome.needs_summary_update {
                     let asid = self.threads[tid as usize].asid;
                     cost += self.os.on_outer_commit(&mut self.tm, asid, tid);
+                }
+                if let Some(o) = self.oracle.as_mut() {
+                    o.commit(tid);
+                    if outcome.outermost {
+                        for v in self.tm.post_tx_violations(ctx) {
+                            self.oracle.as_mut().expect("still set").note(v);
+                        }
+                    }
                 }
                 self.schedule_resume(tid, cost);
             }
@@ -568,6 +665,36 @@ impl System {
                     }
                     _ => unreachable!("non-memory op in exec_mem_op"),
                 };
+                if self.oracle.is_some() {
+                    let key = oracle_key(asid, vaddr);
+                    let in_escape = self.tm.thread(ctx).is_some_and(|t| t.in_escape());
+                    let o = self.oracle.as_mut().expect("checked above");
+                    match op {
+                        // Escape-action loads may see the enclosing
+                        // transaction's uncommitted stores; skip them.
+                        Op::Read(_) if !in_escape => o.read(tid, key, value),
+                        Op::Read(_) => {}
+                        Op::Write(_, v) if in_escape => o.escape_write(tid, key, v),
+                        Op::Write(_, v) => o.write(tid, key, v),
+                        Op::Cas { expected, new, .. } => {
+                            let store = (value == expected).then_some(new);
+                            match (in_escape, store) {
+                                (true, Some(v)) => o.escape_write(tid, key, v),
+                                (true, None) => {}
+                                (false, _) => o.rmw(tid, key, value, store),
+                            }
+                        }
+                        Op::FetchAdd(_, delta) => {
+                            let newv = value.wrapping_add(delta);
+                            if in_escape {
+                                o.escape_write(tid, key, newv);
+                            } else {
+                                o.rmw(tid, key, value, Some(newv));
+                            }
+                        }
+                        _ => unreachable!("non-memory op in exec_mem_op"),
+                    }
+                }
                 let slot = &mut self.threads[tid as usize];
                 slot.last_value = value;
                 slot.summary_stalls = 0;
@@ -596,6 +723,9 @@ impl System {
             let handler = self.tm.abort_innermost(ctx, &mut |base, old| {
                 undo.push((base, *old));
             });
+            if let Some(o) = self.oracle.as_mut() {
+                o.abort_innermost(tid);
+            }
             let mut traffic = Cycle::ZERO;
             for (vbase, old) in undo {
                 let pbase = self.translate(asid, vbase);
@@ -635,9 +765,6 @@ impl System {
         // abort happens within this event, so isolation is not observable
         // by other threads mid-restore (the paper's handler holds isolation
         // until the walk completes).
-        if std::env::var("LTSE_TRACE").is_ok() {
-            eprintln!("[{}] tid={} ABORT restoring {:?}", now.as_u64(), tid, undo.iter().map(|(b,o)|(b.0,o[0])).collect::<Vec<_>>());
-        }
         let asid = self.threads[tid as usize].asid;
         let mut traffic = Cycle::ZERO;
         for (vbase, old) in undo {
@@ -655,6 +782,12 @@ impl System {
         if costs.needs_summary_update {
             let asid = self.threads[tid as usize].asid;
             os_cost = self.os.on_outer_abort(&mut self.tm, asid, tid);
+        }
+        if self.oracle.is_some() {
+            self.oracle.as_mut().expect("checked above").abort_all(tid);
+            for v in self.tm.post_tx_violations(ctx) {
+                self.oracle.as_mut().expect("checked above").note(v);
+            }
         }
         let slot = &mut self.threads[tid as usize];
         slot.pending_op = None;
@@ -696,6 +829,9 @@ impl System {
             }
         }
         self.drain_overflow_events();
+        if let Some(o) = self.oracle.as_mut() {
+            o.abort_all(victim);
+        }
         // Rewind the victim's program so it re-issues TxBegin when it is
         // next scheduled.
         let slot = &mut self.threads[victim as usize];
@@ -1086,6 +1222,133 @@ mod tests {
         assert_eq!(r.tm.commits, 120);
         assert_eq!(r.os.pages_relocated, 2);
         assert!(r.cycles > Cycle(1_200), "run spanned both relocations");
+    }
+
+    /// Always picks the earliest event: must reproduce `run()` exactly.
+    struct FifoChooser;
+    impl EventChooser for FifoChooser {
+        fn choose(&mut self, _n: usize) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn run_explored_with_fifo_chooser_matches_run() {
+        let run = |explored: bool| {
+            let mut s = small(SignatureKind::paper_bs_2kb(), 42);
+            for _ in 0..4 {
+                s.add_thread(Box::new(Counter::new(WordAddr(0), 10)));
+            }
+            let r = if explored {
+                s.run_explored(&mut FifoChooser, 4, Cycle(4)).unwrap()
+            } else {
+                s.run().unwrap()
+            };
+            (r.cycles, r.tm.commits, r.tm.aborts, s.read_word(WordAddr(0)))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn oracle_passes_a_clean_contended_run() {
+        let mut s = SystemBuilder::small_for_tests()
+            .seed(3)
+            .check_serializability(true)
+            .build();
+        for _ in 0..4 {
+            s.add_thread(Box::new(Counter::new(WordAddr(0), 10)));
+        }
+        let r = s.run().unwrap();
+        assert!(r.tm.aborts > 0, "this seed is known to abort");
+        let errs = s.finish_checks();
+        assert!(errs.is_empty(), "{errs:?}");
+        let o = s.oracle().expect("oracle attached");
+        assert_eq!(o.committed_txs(), 40);
+        assert!(o.checked_reads() >= 40);
+    }
+
+    /// Two-word transactions taken in opposite orders: conflicts form a
+    /// cycle, so some transaction aborts *after* its first store was logged —
+    /// exactly the state in which `fault_skip_one_undo` corrupts memory.
+    fn opposite_order_workload(s: &mut System) {
+        use crate::program::{ScriptOp, TxScript};
+        let (a, b) = (WordAddr(0), WordAddr(8)); // distinct blocks
+        for t in 0..4 {
+            let ops = if t % 2 == 0 {
+                vec![ScriptOp::AddTo(a, 1), ScriptOp::AddTo(b, 1)]
+            } else {
+                vec![ScriptOp::AddTo(b, 1), ScriptOp::AddTo(a, 1)]
+            };
+            s.add_thread(Box::new(TxScript::new(vec![ops; 10])));
+        }
+    }
+
+    #[test]
+    fn oracle_catches_the_injected_undo_fault() {
+        // Same machine and workload, but the abort handler silently skips
+        // one undo record: memory diverges from the serial replay and the
+        // oracle must say so even though the run itself "succeeds".
+        let mut s = SystemBuilder::small_for_tests()
+            .seed(3)
+            .check_serializability(true)
+            .fault_skip_one_undo(true)
+            .build();
+        opposite_order_workload(&mut s);
+        let _ = s.run();
+        let errs = s.finish_checks();
+        assert!(!errs.is_empty(), "the skipped undo record must be detected");
+    }
+
+    #[test]
+    fn oracle_passes_the_opposite_order_workload_without_the_fault() {
+        let mut s = SystemBuilder::small_for_tests()
+            .seed(3)
+            .check_serializability(true)
+            .build();
+        opposite_order_workload(&mut s);
+        let r = s.run().unwrap();
+        assert!(r.tm.aborts > 0, "the cycle must force aborts");
+        let errs = s.finish_checks();
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn oracle_ignores_escape_action_effects_correctly() {
+        // The escape-action scenario from `escape_actions_do_not_isolate`,
+        // with checking on: escape writes are immediate and survive, and the
+        // oracle must not flag the run.
+        let mut s = SystemBuilder::small_for_tests()
+            .seed(5)
+            .check_serializability(true)
+            .build();
+        let mut step0 = 0;
+        s.add_thread(Box::new(FnProgram::new(move |_t, aborted| {
+            if aborted {
+                step0 = 0;
+            }
+            step0 += 1;
+            match step0 {
+                1 => Op::TxBegin,
+                2 => Op::EscapeBegin,
+                3 => Op::Write(WordAddr(512), 1),
+                4 => Op::EscapeEnd,
+                5 => Op::Work(5000),
+                6 => Op::TxCommit,
+                _ => Op::Done,
+            }
+        })));
+        let mut step1 = 0;
+        s.add_thread(Box::new(FnProgram::new(move |_t, _| {
+            step1 += 1;
+            match step1 {
+                1 => Op::Work(200),
+                2 => Op::Write(WordAddr(512), 2),
+                _ => Op::Done,
+            }
+        })));
+        s.run().unwrap();
+        let errs = s.finish_checks();
+        assert!(errs.is_empty(), "{errs:?}");
     }
 
     #[test]

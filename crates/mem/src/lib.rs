@@ -63,7 +63,7 @@ pub use cache::{CacheConfig, SetAssocCache};
 pub use dir::DirEntry;
 pub use latency::LatencyConfig;
 pub use network::Grid;
-pub use oracle::{AccessKind, ConflictOracle, NullOracle};
+pub use oracle::{AccessKind, ConflictOracle, NullOracle, SerializabilityOracle};
 pub use stats::MemStats;
 pub use store::MemStore;
 pub use system::{

@@ -8,6 +8,8 @@
 //! broadcasts, eviction decisions), the protocol calls a [`ConflictOracle`]
 //! that the TM layer implements.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use crate::addr::BlockAddr;
 
 /// Whether a memory access reads or writes (maps to the paper's GETS/GETM
@@ -89,6 +91,263 @@ impl ConflictOracle for NullOracle {
     }
 }
 
+/// One data operation recorded inside a transaction frame, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DataOp {
+    /// A load that observed `seen`.
+    Read { key: u64, seen: u64 },
+    /// A store of `value`.
+    Write { key: u64, value: u64 },
+}
+
+/// Cap on recorded mismatch messages: a genuinely broken run can mismatch on
+/// every access, and the first few errors carry all the signal.
+const MAX_ERRORS: usize = 32;
+
+/// A differential serializability checker: replays *committed* transactions,
+/// in commit order, against a plain sequential [`BTreeMap`] memory, and
+/// asserts that every committed read observed exactly the value the serial
+/// replay produces and that the final memory states agree.
+///
+/// This is the ground truth LogTM-SE's machinery (signatures, NACKs, undo
+/// logs, sticky states, summary signatures) is supposed to implement: eager
+/// conflict detection holds writers and readers apart until commit, so the
+/// committed history must be serializable *in commit order*. A signature
+/// false negative, a skipped undo-log record, or a missed sticky-state check
+/// surfaces here as a read-value or final-state divergence.
+///
+/// Keys are opaque `u64`s chosen by the caller; the system-level harness
+/// packs `(asid, virtual word address)` so page relocation (which changes
+/// physical placement, not meaning) is invisible to the oracle. Aborted
+/// frames are discarded without touching the reference memory — "aborted
+/// transactions leave no trace" falls out of the final-state comparison.
+///
+/// Operations performed outside any transaction (plain accesses, escape
+/// actions) apply to the reference immediately, as single-op transactions
+/// serialized at execution time: eager conflict detection NACKs them until
+/// no live transaction holds the block, so execution order *is* their
+/// serialization order.
+#[derive(Debug, Default)]
+pub struct SerializabilityOracle {
+    /// The sequential reference memory (missing key = 0).
+    reference: BTreeMap<u64, u64>,
+    /// Every key any access or init ever touched (for the final sweep).
+    touched: BTreeSet<u64>,
+    /// Per-thread stack of open transaction frames; `.1` is `true` for an
+    /// open-nested frame.
+    frames: BTreeMap<u32, Vec<(bool, Vec<DataOp>)>>,
+    errors: Vec<String>,
+    committed_txs: u64,
+    checked_reads: u64,
+}
+
+impl SerializabilityOracle {
+    /// A fresh oracle over an all-zero reference memory.
+    pub fn new() -> Self {
+        SerializabilityOracle::default()
+    }
+
+    fn push_error(&mut self, msg: String) {
+        if self.errors.len() < MAX_ERRORS {
+            self.errors.push(msg);
+        }
+    }
+
+    /// Seeds an initial value (memory initialized before the run starts).
+    pub fn init_word(&mut self, key: u64, value: u64) {
+        self.touched.insert(key);
+        if value == 0 {
+            self.reference.remove(&key);
+        } else {
+            self.reference.insert(key, value);
+        }
+    }
+
+    /// Replays `ops` against the reference, checking reads.
+    fn apply(&mut self, thread: u32, ops: &[DataOp]) {
+        for op in ops {
+            match *op {
+                DataOp::Read { key, seen } => {
+                    self.checked_reads += 1;
+                    self.touched.insert(key);
+                    let want = self.reference.get(&key).copied().unwrap_or(0);
+                    if want != seen {
+                        self.push_error(format!(
+                            "thread {thread}: committed read of {key:#x} observed {seen} \
+                             but serial replay expects {want}"
+                        ));
+                    }
+                }
+                DataOp::Write { key, value } => {
+                    self.touched.insert(key);
+                    self.reference.insert(key, value);
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, thread: u32, op: DataOp) {
+        match self.frames.get_mut(&thread).and_then(|s| s.last_mut()) {
+            Some((_, frame)) => frame.push(op),
+            // Outside any transaction: a single-op transaction serialized
+            // right now (see type-level docs).
+            None => self.apply(thread, &[op]),
+        }
+    }
+
+    /// A transaction (or nested child) began. `open` marks open nesting.
+    pub fn begin(&mut self, thread: u32, open: bool) {
+        self.frames
+            .entry(thread)
+            .or_default()
+            .push((open, Vec::new()));
+    }
+
+    /// The thread's innermost transaction committed.
+    ///
+    /// Closed children merge into the parent frame (their effects replay at
+    /// the ancestors' commit); open children and outermost transactions
+    /// replay against the reference immediately — this call site *is* their
+    /// commit-order position.
+    pub fn commit(&mut self, thread: u32) {
+        let stack = self.frames.entry(thread).or_default();
+        let Some((open, ops)) = stack.pop() else {
+            self.push_error(format!("thread {thread}: commit without a live frame"));
+            return;
+        };
+        if open || stack.is_empty() {
+            self.committed_txs += 1;
+            self.apply(thread, &ops);
+        } else {
+            let (_, parent) = stack.last_mut().expect("non-empty checked above");
+            parent.extend(ops);
+        }
+    }
+
+    /// The thread's innermost frame aborted (partial abort): its recorded
+    /// operations are discarded.
+    pub fn abort_innermost(&mut self, thread: u32) {
+        if self.frames.entry(thread).or_default().pop().is_none() {
+            self.push_error(format!("thread {thread}: partial abort without a live frame"));
+        }
+    }
+
+    /// The thread's whole nest aborted: everything is discarded.
+    pub fn abort_all(&mut self, thread: u32) {
+        self.frames.entry(thread).or_default().clear();
+    }
+
+    /// Whether `thread` has a live (uncommitted) frame.
+    pub fn in_tx(&self, thread: u32) -> bool {
+        self.frames.get(&thread).is_some_and(|s| !s.is_empty())
+    }
+
+    /// A committed load of `key` observed `seen`.
+    pub fn read(&mut self, thread: u32, key: u64, seen: u64) {
+        self.record(thread, DataOp::Read { key, seen });
+    }
+
+    /// A store of `value` to `key`.
+    pub fn write(&mut self, thread: u32, key: u64, value: u64) {
+        self.record(thread, DataOp::Write { key, value });
+    }
+
+    /// An atomic read-modify-write: observed `seen`, then stored `new` (pass
+    /// `None` for a failed compare-and-swap, which writes nothing).
+    pub fn rmw(&mut self, thread: u32, key: u64, seen: u64, new: Option<u64>) {
+        // Recorded as read-then-write in one frame; outside a transaction the
+        // pair must serialize atomically, so apply it as one unit.
+        let mut ops = [DataOp::Read { key, seen }, DataOp::Read { key, seen }];
+        let mut n = 1;
+        if let Some(value) = new {
+            ops[1] = DataOp::Write { key, value };
+            n = 2;
+        }
+        match self.frames.get_mut(&thread).and_then(|s| s.last_mut()) {
+            Some((_, frame)) => frame.extend_from_slice(&ops[..n]),
+            None => self.apply(thread, &ops[..n]),
+        }
+    }
+
+    /// A store performed inside an *escape action* while the thread has live
+    /// frames: it takes effect immediately (escape stores are never logged,
+    /// so an enclosing abort cannot undo them) rather than joining the
+    /// innermost frame. Escape *reads* are deliberately not checked at all —
+    /// under eager version management they may legitimately observe the
+    /// enclosing transaction's uncommitted stores, which the serial replay
+    /// cannot predict.
+    pub fn escape_write(&mut self, thread: u32, key: u64, value: u64) {
+        self.apply(thread, &[DataOp::Write { key, value }]);
+    }
+
+    /// Records an externally detected invariant violation (post-abort probe
+    /// failures, leftover transactional state, …) so one error channel
+    /// carries everything.
+    pub fn note(&mut self, msg: String) {
+        self.push_error(msg);
+    }
+
+    /// Compares the reference against the actual memory over every touched
+    /// key; `actual` resolves a key to the real memory's current value.
+    /// Threads still holding live frames at this point are reported too —
+    /// a finished run must have no transaction in flight.
+    pub fn check_final(&mut self, mut actual: impl FnMut(u64) -> u64) {
+        let live: Vec<u32> = self
+            .frames
+            .iter()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(t, _)| *t)
+            .collect();
+        for thread in live {
+            self.push_error(format!(
+                "thread {thread}: transaction still live at end of run"
+            ));
+        }
+        let keys: Vec<u64> = self.touched.iter().copied().collect();
+        for key in keys {
+            let want = self.reference.get(&key).copied().unwrap_or(0);
+            let got = actual(key);
+            if want != got {
+                self.push_error(format!(
+                    "final state diverges at {key:#x}: memory holds {got}, \
+                     serial replay expects {want}"
+                ));
+            }
+        }
+    }
+
+    /// All recorded divergences and violations, in detection order (capped).
+    pub fn errors(&self) -> &[String] {
+        &self.errors
+    }
+
+    /// Whether any check has failed so far.
+    pub fn has_errors(&self) -> bool {
+        !self.errors.is_empty()
+    }
+
+    /// Drains the recorded errors.
+    pub fn take_errors(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.errors)
+    }
+
+    /// Number of transactions replayed (outermost commits + open-nested
+    /// publishes).
+    pub fn committed_txs(&self) -> u64 {
+        self.committed_txs
+    }
+
+    /// Number of read-value equivalence checks performed.
+    pub fn checked_reads(&self) -> u64 {
+        self.checked_reads
+    }
+
+    /// Every key any access touched, for external sweeps.
+    pub fn touched_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.touched.iter().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +364,164 @@ mod tests {
     fn access_kind_display() {
         assert_eq!(AccessKind::Load.to_string(), "load");
         assert_eq!(AccessKind::Store.to_string(), "store");
+    }
+
+    #[test]
+    fn serial_increments_replay_clean() {
+        let mut o = SerializabilityOracle::new();
+        let mut mem = 0u64;
+        for t in 0..3u32 {
+            o.begin(t, false);
+            o.read(t, 0x10, mem);
+            mem += 1;
+            o.write(t, 0x10, mem);
+            o.commit(t);
+        }
+        assert_eq!(o.committed_txs(), 3);
+        assert_eq!(o.checked_reads(), 3);
+        o.check_final(|_| mem);
+        assert!(o.errors().is_empty(), "{:?}", o.errors());
+    }
+
+    #[test]
+    fn lost_update_is_detected() {
+        let mut o = SerializabilityOracle::new();
+        // Two transactions both read 0, both write 1 (the classic lost
+        // update a working TM must prevent).
+        o.begin(0, false);
+        o.read(0, 0x10, 0);
+        o.write(0, 0x10, 1);
+        o.begin(1, false);
+        o.read(1, 0x10, 0); // recorded before t0 commits: fine so far
+        o.write(1, 0x10, 1);
+        o.commit(0);
+        o.commit(1); // replay expects t1's read to see 1, it saw 0
+        assert!(o.has_errors());
+        assert!(o.errors()[0].contains("observed 0"), "{:?}", o.errors());
+    }
+
+    #[test]
+    fn final_state_divergence_is_detected() {
+        let mut o = SerializabilityOracle::new();
+        o.begin(0, false);
+        o.write(0, 0x20, 7);
+        o.commit(0);
+        o.check_final(|_| 99); // actual memory disagrees
+        assert!(o.errors().iter().any(|e| e.contains("final state diverges")));
+    }
+
+    #[test]
+    fn aborted_transactions_leave_no_trace() {
+        let mut o = SerializabilityOracle::new();
+        o.init_word(0x30, 5);
+        o.begin(0, false);
+        o.read(0, 0x30, 5);
+        o.write(0, 0x30, 100);
+        o.abort_all(0);
+        assert!(!o.in_tx(0));
+        // A later reader must see the pre-transaction value.
+        o.read(1, 0x30, 5);
+        o.check_final(|_| 5);
+        assert!(o.errors().is_empty(), "{:?}", o.errors());
+        assert_eq!(o.committed_txs(), 0);
+    }
+
+    #[test]
+    fn closed_nesting_merges_into_parent() {
+        let mut o = SerializabilityOracle::new();
+        o.begin(0, false);
+        o.write(0, 0x40, 1);
+        o.begin(0, false); // closed child
+        o.write(0, 0x41, 2);
+        o.commit(0); // merges, nothing published yet
+        assert_eq!(o.committed_txs(), 0);
+        // A concurrent non-transactional read still sees old memory.
+        o.read(1, 0x41, 0);
+        o.commit(0); // outermost: both writes publish, in program order
+        assert_eq!(o.committed_txs(), 1);
+        o.check_final(|k| match k {
+            0x40 => 1,
+            0x41 => 2,
+            _ => 0,
+        });
+        assert!(o.errors().is_empty(), "{:?}", o.errors());
+    }
+
+    #[test]
+    fn partial_abort_discards_only_the_inner_frame() {
+        let mut o = SerializabilityOracle::new();
+        o.begin(0, false);
+        o.write(0, 0x50, 1);
+        o.begin(0, false);
+        o.write(0, 0x51, 9); // inner write, then partial abort
+        o.abort_innermost(0);
+        assert!(o.in_tx(0));
+        o.commit(0);
+        o.check_final(|k| if k == 0x50 { 1 } else { 0 });
+        assert!(o.errors().is_empty(), "{:?}", o.errors());
+    }
+
+    #[test]
+    fn open_nested_commit_publishes_immediately() {
+        let mut o = SerializabilityOracle::new();
+        o.begin(0, false);
+        o.begin(0, true); // open child
+        o.write(0, 0x60, 42);
+        o.commit(0); // publishes now
+        assert_eq!(o.committed_txs(), 1);
+        o.read(1, 0x60, 42); // visible to others before the parent commits
+        o.abort_all(0); // parent aborts; open child's publish survives
+        o.check_final(|k| if k == 0x60 { 42 } else { 0 });
+        assert!(o.errors().is_empty(), "{:?}", o.errors());
+    }
+
+    #[test]
+    fn rmw_checks_the_observed_value() {
+        let mut o = SerializabilityOracle::new();
+        o.rmw(0, 0x70, 0, Some(1)); // fetch-add outside any tx
+        o.rmw(1, 0x70, 1, Some(2));
+        o.rmw(2, 0x70, 7, Some(8)); // stale observation: must be flagged
+        assert_eq!(o.errors().len(), 1, "{:?}", o.errors());
+        // Failed CAS writes nothing.
+        let mut o2 = SerializabilityOracle::new();
+        o2.rmw(0, 0x70, 0, None);
+        o2.check_final(|_| 0);
+        assert!(o2.errors().is_empty());
+    }
+
+    #[test]
+    fn escape_write_bypasses_the_frame_stack() {
+        let mut o = SerializabilityOracle::new();
+        o.begin(0, false);
+        o.escape_write(0, 0x85, 7); // visible immediately, survives the abort
+        o.read(1, 0x85, 7);
+        o.abort_all(0);
+        o.check_final(|k| if k == 0x85 { 7 } else { 0 });
+        assert!(o.errors().is_empty(), "{:?}", o.errors());
+    }
+
+    #[test]
+    fn live_frame_at_end_of_run_is_reported() {
+        let mut o = SerializabilityOracle::new();
+        o.begin(0, false);
+        o.write(0, 0x80, 1);
+        o.check_final(|_| 0);
+        assert!(o.errors().iter().any(|e| e.contains("still live")), "{:?}", o.errors());
+    }
+
+    #[test]
+    fn commit_without_begin_is_reported() {
+        let mut o = SerializabilityOracle::new();
+        o.commit(3);
+        assert!(o.errors()[0].contains("commit without"), "{:?}", o.errors());
+    }
+
+    #[test]
+    fn error_cap_bounds_memory() {
+        let mut o = SerializabilityOracle::new();
+        for i in 0..1000 {
+            o.read(0, 0x90, i + 1); // always wrong (reference holds 0)
+        }
+        assert_eq!(o.errors().len(), MAX_ERRORS);
     }
 }

@@ -5,6 +5,19 @@ use std::collections::BinaryHeap;
 
 use crate::time::Cycle;
 
+/// A pluggable source of scheduling decisions for exploration mode (see
+/// [`crate::explore`]).
+///
+/// When [`EventQueue::pop_explored`] finds more than one event eligible to
+/// fire, it asks the chooser which one goes first. Index `0` is always the
+/// event the plain FIFO queue would have fired, so a chooser that constantly
+/// answers `0` reproduces [`EventQueue::pop`] exactly.
+pub trait EventChooser {
+    /// Choose among `n >= 2` eligible events, ordered by `(time, seq)`.
+    /// The return value is clamped to `n - 1` by the caller.
+    fn choose(&mut self, n: usize) -> usize;
+}
+
 /// An entry in the heap: ordered by time, then by insertion sequence so that
 /// events scheduled for the same cycle pop in FIFO order. `BinaryHeap` is a
 /// max-heap, so comparisons are reversed.
@@ -109,6 +122,52 @@ impl<E> EventQueue<E> {
         debug_assert!(entry.time >= self.now);
         self.now = entry.time;
         Some((entry.time, entry.payload))
+    }
+
+    /// Like [`EventQueue::pop`], but lets `chooser` reorder events that are
+    /// *almost* simultaneous: all pending events within `horizon` cycles of
+    /// the earliest one (up to `window` of them) are eligible, and the chosen
+    /// event fires **at the earliest candidate's timestamp**. Unchosen
+    /// candidates keep their original `(time, seq)` and stay pending.
+    ///
+    /// This deliberately trades timing fidelity for ordering control: in
+    /// exploration mode the simulator no longer claims cycle-accurate
+    /// latencies, only that the chosen interleaving is one the event system
+    /// could produce under perturbed timing. Choosing index 0 everywhere
+    /// (or passing `window <= 1`) degenerates to `pop`, so the all-zero
+    /// schedule is byte-identical to a normal run.
+    pub fn pop_explored(
+        &mut self,
+        chooser: &mut dyn EventChooser,
+        horizon: Cycle,
+        window: usize,
+    ) -> Option<(Cycle, E)> {
+        if window <= 1 {
+            return self.pop();
+        }
+        let first = self.heap.pop()?;
+        let fire_at = first.time;
+        let cutoff = fire_at + horizon;
+        let mut eligible = vec![first];
+        while eligible.len() < window {
+            match self.heap.peek() {
+                Some(e) if e.time <= cutoff => {
+                    eligible.push(self.heap.pop().expect("peeked entry"));
+                }
+                _ => break,
+            }
+        }
+        let pick = if eligible.len() > 1 {
+            chooser.choose(eligible.len()).min(eligible.len() - 1)
+        } else {
+            0
+        };
+        let chosen = eligible.swap_remove(pick);
+        for entry in eligible {
+            self.heap.push(entry);
+        }
+        self.now = fire_at;
+        Some((fire_at, chosen.payload))
     }
 
     /// Returns the timestamp of the earliest pending event without removing
@@ -217,6 +276,80 @@ mod tests {
         q.push(Cycle(9), ());
         assert_eq!(q.peek_time(), Some(Cycle(9)));
         assert_eq!(q.now(), Cycle::ZERO);
+    }
+
+    /// A chooser that replays a fixed list of picks, then picks 0.
+    struct Fixed(Vec<usize>, usize);
+
+    impl EventChooser for Fixed {
+        fn choose(&mut self, _n: usize) -> usize {
+            let c = self.0.get(self.1).copied().unwrap_or(0);
+            self.1 += 1;
+            c
+        }
+    }
+
+    #[test]
+    fn pop_explored_all_zero_matches_pop() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (t, p) in [(3, 'x'), (1, 'y'), (1, 'z'), (9, 'w')] {
+            a.push(Cycle(t), p);
+            b.push(Cycle(t), p);
+        }
+        let mut chooser = Fixed(vec![], 0);
+        loop {
+            let via_pop = a.pop();
+            let via_explored = b.pop_explored(&mut chooser, Cycle(100), 4);
+            assert_eq!(via_pop, via_explored);
+            if via_pop.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn pop_explored_reorders_within_horizon() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(1), 'a');
+        q.push(Cycle(2), 'b');
+        q.push(Cycle(50), 'c');
+        // Pick index 1: 'b' fires first, *at* cycle 1. 'c' is outside the
+        // horizon and must not be eligible.
+        let mut chooser = Fixed(vec![1], 0);
+        assert_eq!(q.pop_explored(&mut chooser, Cycle(10), 4), Some((Cycle(1), 'b')));
+        // 'a' kept its original timestamp.
+        assert_eq!(q.pop_explored(&mut chooser, Cycle(10), 4), Some((Cycle(1), 'a')));
+        assert_eq!(q.pop_explored(&mut chooser, Cycle(10), 4), Some((Cycle(50), 'c')));
+        assert_eq!(q.now(), Cycle(50));
+    }
+
+    #[test]
+    fn pop_explored_window_caps_eligibility() {
+        let mut q = EventQueue::new();
+        for (i, p) in ['a', 'b', 'c', 'd'].into_iter().enumerate() {
+            q.push(Cycle(i as u64), p);
+        }
+        // window=2: only 'a' and 'b' are eligible; an out-of-range pick is
+        // clamped to the last eligible event.
+        let mut chooser = Fixed(vec![7], 0);
+        assert_eq!(q.pop_explored(&mut chooser, Cycle(100), 2), Some((Cycle(0), 'b')));
+    }
+
+    #[test]
+    fn pop_explored_never_regresses_time() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), 'a');
+        q.push(Cycle(8), 'b');
+        let mut chooser = Fixed(vec![1], 0);
+        // 'b' (scheduled for 8) fires early at 5; 'a' then fires at its own
+        // time, which is still >= now.
+        assert_eq!(q.pop_explored(&mut chooser, Cycle(10), 4), Some((Cycle(5), 'b')));
+        assert_eq!(q.now(), Cycle(5));
+        assert_eq!(q.pop_explored(&mut chooser, Cycle(10), 4), Some((Cycle(5), 'a')));
+        // Scheduling after the reordering still works (no past-event panic).
+        q.push_after(Cycle(1), 'c');
+        assert_eq!(q.pop(), Some((Cycle(6), 'c')));
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   results and per-run panic isolation.
 //! * [`check`] — a dependency-free deterministic randomized-testing
 //!   harness used by the workspace's property tests.
+//! * [`explore`] — a deterministic schedule-exploration engine (exhaustive,
+//!   seeded-random, and delay-bounded interleavings with greedy failure
+//!   shrinking) layered on [`EventQueue::pop_explored`].
 //!
 //! # Example
 //!
@@ -45,10 +48,11 @@ mod time;
 
 pub mod check;
 pub mod config;
+pub mod explore;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod trace;
 
-pub use event::EventQueue;
+pub use event::{EventChooser, EventQueue};
 pub use time::Cycle;

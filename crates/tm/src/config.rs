@@ -50,6 +50,13 @@ pub struct TmConfig {
     pub begin_cycles: Cycle,
     /// Contention-management policy on NACKs.
     pub contention: ContentionPolicy,
+    /// **Test-only fault injection**: when set, the abort handler silently
+    /// skips restoring the most recently logged undo record of the
+    /// outermost frame, leaving one block un-rolled-back. Exists solely so
+    /// the schedule-exploration checker (`ltse_sim::explore` + the
+    /// serializability oracle) can prove it detects a broken undo path;
+    /// must never be set outside tests.
+    pub fault_skip_one_undo: bool,
 }
 
 impl TmConfig {
@@ -69,6 +76,7 @@ impl TmConfig {
             backoff_cap_shift: 6,
             begin_cycles: Cycle(4),
             contention: ContentionPolicy::RequesterStalls,
+            fault_skip_one_undo: false,
         }
     }
 }

@@ -356,8 +356,14 @@ impl ThreadTmState {
     ) -> AbortCosts {
         assert!(self.in_tx(), "abort outside a transaction");
         let mut restored = 0u64;
+        // Test-only fault injection (see `TmConfig::fault_skip_one_undo`):
+        // drop the restore of the most recent undo record on the floor.
+        let mut fault_pending = config.fault_skip_one_undo;
         while let Some(frame) = self.log.pop_frame() {
             unroll_frame(&frame, |base, old| {
+                if std::mem::take(&mut fault_pending) {
+                    return;
+                }
                 restored += 1;
                 restore(base, old);
             });
@@ -480,6 +486,46 @@ impl ThreadTmState {
     /// The signature kind this thread was configured with.
     pub fn signature_kind(&self) -> SignatureKind {
         self.sig.kind()
+    }
+
+    /// Invariant probe for the correctness tooling: after an outermost
+    /// commit or a full abort this thread must hold no residual
+    /// transactional state — undo log fully unwound with the log pointer
+    /// back at base, signatures clear, timestamp released, no deadlock
+    /// flag, and its read/write sets withdrawn from any summary signature.
+    /// Returns a description of every violated invariant (empty = clean).
+    pub fn post_outer_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let t = self.thread_id;
+        if !self.log.is_empty() {
+            v.push(format!(
+                "thread {t}: undo log still holds {} frame(s) after outermost commit/abort",
+                self.log.depth()
+            ));
+        }
+        if !self.log.ptr_is_reset() {
+            v.push(format!(
+                "thread {t}: log pointer not reset to base (still at {})",
+                self.log.log_ptr().as_u64()
+            ));
+        }
+        if !self.sig.is_empty() {
+            v.push(format!(
+                "thread {t}: read/write signature not cleared after outermost commit/abort"
+            ));
+        }
+        if self.stamp.is_some() {
+            v.push(format!("thread {t}: transaction timestamp still installed"));
+        }
+        if self.possible_cycle {
+            v.push(format!("thread {t}: possible_cycle flag survived the transaction"));
+        }
+        if self.in_summary {
+            v.push(format!(
+                "thread {t}: still folded into the process summary signature"
+            ));
+        }
+        v
     }
 
     /// Zeroes the statistics while leaving all transactional and cache-
@@ -720,6 +766,48 @@ mod tests {
         assert!(t.covers_hw(BlockAddr(3 + 64)), "hashed view aliases");
         assert!(t.covers_exact(BlockAddr(3)));
         assert!(!t.covers_exact(BlockAddr(3 + 64)), "exact view does not");
+    }
+
+    #[test]
+    fn fault_injection_skips_most_recent_undo_only() {
+        let mut c = cfg();
+        c.fault_skip_one_undo = true;
+        let mut t = state(&c);
+        t.begin(NestKind::Closed, Cycle(0));
+        t.log_store_if_needed(BlockAddr(1), || [11; 8]);
+        t.log_store_if_needed(BlockAddr(2), || [22; 8]);
+        let mut restored = Vec::new();
+        let costs = t.abort_all(&c, Cycle(50), &mut |base, old| {
+            restored.push((base.0, old[0]));
+        });
+        // The most recent record (block 2) was silently dropped; block 1
+        // still restores. This is the seeded bug the schedule explorer's
+        // differential oracle must catch via memory divergence — note the
+        // local invariant probe sees nothing wrong (the log *was* popped).
+        assert_eq!(restored, vec![(8, 11)]);
+        assert_eq!(costs.restored_blocks, 1);
+        assert!(t.post_outer_violations().is_empty());
+    }
+
+    #[test]
+    fn post_outer_probe_is_clean_after_commit_and_abort() {
+        let c = cfg();
+        let mut t = state(&c);
+        t.begin(NestKind::Closed, Cycle(0));
+        t.record_access(SigOp::Write, BlockAddr(4));
+        t.log_store_if_needed(BlockAddr(4), || [7; 8]);
+        assert!(
+            !t.post_outer_violations().is_empty(),
+            "mid-transaction state is (correctly) flagged as residual"
+        );
+        t.commit(&c, Cycle(10));
+        assert_eq!(t.post_outer_violations(), Vec::<String>::new());
+
+        t.begin(NestKind::Closed, Cycle(20));
+        t.record_access(SigOp::Write, BlockAddr(5));
+        t.log_store_if_needed(BlockAddr(5), || [9; 8]);
+        t.abort_all(&c, Cycle(30), &mut |_, _| {});
+        assert_eq!(t.post_outer_violations(), Vec::<String>::new());
     }
 
     #[test]

@@ -217,6 +217,13 @@ impl TxLog {
         self.frames.is_empty()
     }
 
+    /// Whether the hardware log pointer sits back at the log base — the
+    /// required post-state after an outermost commit or a full abort
+    /// (invariant probe for the correctness tooling).
+    pub fn ptr_is_reset(&self) -> bool {
+        self.ptr_words == 0
+    }
+
     fn advance(&mut self, words: u64) {
         self.ptr_words += words;
         self.high_water_words = self.high_water_words.max(self.ptr_words);
@@ -306,8 +313,10 @@ mod tests {
         let mut log = TxLog::new(WordAddr(500));
         log.push_frame(NestKind::Closed, 0, None);
         log.append_undo(WordAddr(64), old(9));
+        assert!(!log.ptr_is_reset());
         log.commit_outer();
         assert!(log.is_empty());
+        assert!(log.ptr_is_reset());
         assert_eq!(log.log_ptr(), WordAddr(500));
         assert!(log.high_water_words() > 0, "high water survives commit");
     }

@@ -187,6 +187,16 @@ impl TmUnit {
         self.thread(ctx).is_some_and(|t| t.in_tx())
     }
 
+    /// Invariant probe for the correctness tooling: residual-state check
+    /// for the thread on `ctx`, meaningful right after an outermost commit
+    /// or a full abort. Empty when clean (or when no thread is installed).
+    /// See [`ThreadTmState::post_outer_violations`].
+    pub fn post_tx_violations(&self, ctx: CtxId) -> Vec<String> {
+        self.thread(ctx)
+            .map(|t| t.post_outer_violations())
+            .unwrap_or_default()
+    }
+
     /// The core hosting `ctx`.
     pub fn core_of(&self, ctx: CtxId) -> u8 {
         (ctx / self.smt_per_core as u32) as u8

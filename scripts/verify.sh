@@ -11,6 +11,14 @@ cargo build --release
 echo "== tier 1: cargo test -q =="
 cargo test -q
 
+echo "== exploration smoke: bounded schedule search with the oracle =="
+# A capped budget keeps this under ~30 s while still covering every
+# exploration test (serializability, shrinking, victimization, preemption).
+t_exp0=$(date +%s%N)
+LTSE_EXPLORE_SCHEDULES=300 cargo test -q --release --test integration_explore
+t_exp1=$(date +%s%N)
+echo "ok: exploration smoke in $(( (t_exp1 - t_exp0) / 1000000 )) ms"
+
 echo "== determinism smoke: repro --quick, 1 vs. 4 workers =="
 repro=target/release/repro
 out1=$(mktemp) out4=$(mktemp)
