@@ -62,6 +62,10 @@ struct Line<V> {
 pub struct SetAssocCache<V> {
     config: CacheConfig,
     sets: Vec<Vec<Line<V>>>,
+    /// Per-set MRU way hint. May be stale (ways move on `swap_remove`), so
+    /// every use verifies the tag before trusting it; a wrong hint only
+    /// costs the linear scan we would have done anyway.
+    hints: Vec<u32>,
     tick: u64,
     set_mask: u64,
 }
@@ -72,6 +76,7 @@ impl<V> SetAssocCache<V> {
         SetAssocCache {
             config,
             sets: (0..config.sets).map(|_| Vec::new()).collect(),
+            hints: vec![0; config.sets],
             tick: 0,
             set_mask: config.sets as u64 - 1,
         }
@@ -92,18 +97,32 @@ impl<V> SetAssocCache<V> {
         self.tick
     }
 
+    /// Finds `block`'s way within `set`, trying the (tag-verified) MRU hint
+    /// before falling back to a linear scan.
+    #[inline]
+    fn find_way(set: &[Line<V>], hint: u32, block: BlockAddr) -> Option<usize> {
+        if let Some(l) = set.get(hint as usize) {
+            if l.block == block {
+                return Some(hint as usize);
+            }
+        }
+        set.iter().position(|l| l.block == block)
+    }
+
     /// Looks up a block without touching LRU state.
     pub fn peek(&self, block: &BlockAddr) -> Option<&V> {
-        let set = &self.sets[self.set_index(*block)];
-        set.iter().find(|l| l.block == *block).map(|l| &l.value)
+        let idx = self.set_index(*block);
+        let set = &self.sets[idx];
+        Self::find_way(set, self.hints[idx], *block).map(|w| &set[w].value)
     }
 
     /// Looks up a block, promoting it to most-recently-used.
     pub fn get(&mut self, block: &BlockAddr) -> Option<&V> {
         let tick = self.bump();
         let idx = self.set_index(*block);
-        let set = &mut self.sets[idx];
-        let line = set.iter_mut().find(|l| l.block == *block)?;
+        let way = Self::find_way(&self.sets[idx], self.hints[idx], *block)?;
+        self.hints[idx] = way as u32;
+        let line = &mut self.sets[idx][way];
         line.lru = tick;
         Some(&line.value)
     }
@@ -112,8 +131,9 @@ impl<V> SetAssocCache<V> {
     pub fn get_mut(&mut self, block: &BlockAddr) -> Option<&mut V> {
         let tick = self.bump();
         let idx = self.set_index(*block);
-        let set = &mut self.sets[idx];
-        let line = set.iter_mut().find(|l| l.block == *block)?;
+        let way = Self::find_way(&self.sets[idx], self.hints[idx], *block)?;
+        self.hints[idx] = way as u32;
+        let line = &mut self.sets[idx][way];
         line.lru = tick;
         Some(&mut line.value)
     }
@@ -129,13 +149,15 @@ impl<V> SetAssocCache<V> {
         let tick = self.bump();
         let ways = self.config.ways;
         let idx = self.set_index(block);
-        let set = &mut self.sets[idx];
 
-        if let Some(line) = set.iter_mut().find(|l| l.block == block) {
+        if let Some(way) = Self::find_way(&self.sets[idx], self.hints[idx], block) {
+            self.hints[idx] = way as u32;
+            let line = &mut self.sets[idx][way];
             line.value = value;
             line.lru = tick;
             return None;
         }
+        let set = &mut self.sets[idx];
 
         let evicted = if set.len() == ways {
             let (victim_idx, _) = set
@@ -154,6 +176,7 @@ impl<V> SetAssocCache<V> {
             value,
             lru: tick,
         });
+        self.hints[idx] = (self.sets[idx].len() - 1) as u32;
         evicted
     }
 
@@ -291,5 +314,43 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_geometry_rejected() {
         CacheConfig::new(3, 1);
+    }
+
+    #[test]
+    fn stale_mru_hint_is_harmless() {
+        // swap_remove reorders ways, leaving the MRU hint pointing at a
+        // different (or out-of-range) line; every lookup must still resolve
+        // correctly through the tag check + fallback scan.
+        let mut c = SetAssocCache::new(CacheConfig::new(1, 4));
+        for i in 0..4u64 {
+            c.insert(addr(i), i);
+        }
+        c.get(&addr(3)); // hint → way of 3
+        c.remove(&addr(3)); // swap_remove: hint now stale
+        for i in 0..3u64 {
+            assert_eq!(c.get(&addr(i)), Some(&i));
+            assert_eq!(c.peek(&addr(i)), Some(&i));
+        }
+        assert_eq!(c.get(&addr(3)), None);
+        c.remove(&addr(0));
+        c.remove(&addr(1));
+        c.remove(&addr(2));
+        assert!(c.is_empty());
+        assert_eq!(c.peek(&addr(0)), None, "empty set with nonzero hint");
+    }
+
+    #[test]
+    fn repeated_hits_use_hint_and_keep_lru_exact() {
+        let mut c = SetAssocCache::new(CacheConfig::new(1, 3));
+        c.insert(addr(1), ());
+        c.insert(addr(2), ());
+        c.insert(addr(3), ());
+        // Repeated hits on 1 (hinted) must still record LRU promotions.
+        for _ in 0..5 {
+            assert!(c.get(&addr(1)).is_some());
+        }
+        c.get(&addr(3));
+        let ev = c.insert(addr(4), ());
+        assert_eq!(ev, Some((addr(2), ())), "2 is the true LRU victim");
     }
 }

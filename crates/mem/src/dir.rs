@@ -14,13 +14,17 @@ use std::fmt;
 /// [`DirEntry::sticky`] flag records that this happened, for statistics and
 /// for the sticky-ablation experiment.
 ///
+/// Sharer enumeration and forward-target computation are allocation-free
+/// iterators over the bitmask — these run on every snooped coherence request,
+/// so no `Vec` is built on the hot path.
+///
 /// ```
 /// use ltse_mem::DirEntry;
 ///
 /// let mut e = DirEntry::new();
 /// e.add_sharer(3);
 /// e.add_sharer(5);
-/// assert_eq!(e.sharer_list(), vec![3, 5]);
+/// assert_eq!(e.sharer_iter().collect::<Vec<_>>(), vec![3, 5]);
 /// e.remove_sharer(3);
 /// assert!(!e.is_sharer(3));
 /// ```
@@ -29,7 +33,7 @@ pub struct DirEntry {
     /// Core holding the block exclusively (E or M), if any.
     pub owner: Option<u8>,
     /// Bit-vector of cores holding the block shared (bit *i* ⇒ core *i*).
-    pub sharers: u32,
+    pub sharers: u64,
     /// Whether this entry survived an L1 eviction of transactional data and
     /// therefore names at least one core that no longer caches the block.
     pub sticky: bool,
@@ -63,7 +67,7 @@ impl DirEntry {
     /// Marks core `c` as a sharer.
     #[inline]
     pub fn add_sharer(&mut self, c: u8) {
-        debug_assert!(c < 32);
+        debug_assert!(c < 64);
         self.sharers |= 1 << c;
     }
 
@@ -73,38 +77,105 @@ impl DirEntry {
         self.sharers &= !(1 << c);
     }
 
-    /// All sharer core ids in ascending order.
-    pub fn sharer_list(&self) -> Vec<u8> {
-        (0..32).filter(|&c| self.is_sharer(c)).collect()
+    /// Iterates sharer core ids in ascending order, without allocating.
+    #[inline]
+    pub fn sharer_iter(&self) -> SharerIter {
+        SharerIter { rest: self.sharers }
     }
 
     /// Number of sharers.
+    #[inline]
     pub fn sharer_count(&self) -> u32 {
         self.sharers.count_ones()
     }
 
     /// Whether no core is recorded as caching the block.
+    #[inline]
     pub fn is_uncached(&self) -> bool {
         self.owner.is_none() && self.sharers == 0
     }
 
-    /// Every core this entry would forward a request to (owner plus
-    /// sharers), excluding `except`.
-    pub fn forward_targets(&self, except: u8) -> Vec<u8> {
-        let mut v = Vec::new();
+    /// Every core this entry would forward a request to (owner first, then
+    /// sharers in ascending order), excluding `except` and never naming the
+    /// owner twice. Allocation-free; the iterator is `Copy`, so callers that
+    /// need multiple passes just reuse it.
+    #[inline]
+    pub fn forward_targets(&self, except: u8) -> ForwardTargets {
+        let owner = self.owner.filter(|&o| o != except);
+        let mut rest = self.sharers & !(1u64 << except);
         if let Some(o) = self.owner {
-            if o != except {
-                v.push(o);
-            }
+            rest &= !(1u64 << o);
         }
-        for c in self.sharer_list() {
-            if c != except && self.owner != Some(c) {
-                v.push(c);
-            }
-        }
-        v
+        ForwardTargets { owner, rest }
     }
 }
+
+/// Allocation-free iterator over a [`DirEntry`]'s sharer bitmask, ascending.
+#[derive(Debug, Clone, Copy)]
+pub struct SharerIter {
+    rest: u64,
+}
+
+impl Iterator for SharerIter {
+    type Item = u8;
+
+    #[inline]
+    fn next(&mut self) -> Option<u8> {
+        if self.rest == 0 {
+            return None;
+        }
+        let c = self.rest.trailing_zeros() as u8;
+        self.rest &= self.rest - 1;
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.rest.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SharerIter {}
+
+/// Allocation-free iterator over a [`DirEntry`]'s forward targets: the owner
+/// (if any and not excluded) first, then the remaining sharers ascending.
+#[derive(Debug, Clone, Copy)]
+pub struct ForwardTargets {
+    owner: Option<u8>,
+    rest: u64,
+}
+
+impl ForwardTargets {
+    /// Whether there are no targets at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_none() && self.rest == 0
+    }
+}
+
+impl Iterator for ForwardTargets {
+    type Item = u8;
+
+    #[inline]
+    fn next(&mut self) -> Option<u8> {
+        if let Some(o) = self.owner.take() {
+            return Some(o);
+        }
+        if self.rest == 0 {
+            return None;
+        }
+        let c = self.rest.trailing_zeros() as u8;
+        self.rest &= self.rest - 1;
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.owner.is_some() as usize + self.rest.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ForwardTargets {}
 
 impl fmt::Display for DirEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -133,7 +204,17 @@ mod tests {
         assert_eq!(e.sharer_count(), 2);
         e.remove_sharer(0);
         assert!(!e.is_sharer(0));
-        assert_eq!(e.sharer_list(), vec![31]);
+        assert_eq!(e.sharer_iter().collect::<Vec<_>>(), vec![31]);
+    }
+
+    #[test]
+    fn sharer_bits_above_32_work() {
+        let mut e = DirEntry::new();
+        e.add_sharer(33);
+        e.add_sharer(63);
+        assert!(e.is_sharer(33) && e.is_sharer(63));
+        assert_eq!(e.sharer_iter().collect::<Vec<_>>(), vec![33, 63]);
+        assert_eq!(e.sharer_count(), 2);
     }
 
     #[test]
@@ -149,8 +230,21 @@ mod tests {
         e.add_sharer(2); // stale self-share; must not duplicate
         e.add_sharer(4);
         e.add_sharer(9);
-        assert_eq!(e.forward_targets(4), vec![2, 9]);
-        assert_eq!(e.forward_targets(2), vec![4, 9]);
+        assert_eq!(e.forward_targets(4).collect::<Vec<_>>(), vec![2, 9]);
+        assert_eq!(e.forward_targets(2).collect::<Vec<_>>(), vec![4, 9]);
+    }
+
+    #[test]
+    fn forward_targets_is_empty_and_reusable() {
+        let mut e = DirEntry::new();
+        assert!(e.forward_targets(0).is_empty());
+        e.add_sharer(5);
+        let t = e.forward_targets(0);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+        // `Copy` iterator: two passes over the same value.
+        assert_eq!(t.collect::<Vec<_>>(), vec![5]);
+        assert_eq!(t.collect::<Vec<_>>(), vec![5]);
     }
 
     #[test]

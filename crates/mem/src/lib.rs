@@ -60,7 +60,7 @@ mod system;
 
 pub use addr::{Asid, BlockAddr, PageId, WordAddr, BLOCKS_PER_PAGE, BLOCK_BYTES, WORDS_PER_BLOCK};
 pub use cache::{CacheConfig, SetAssocCache};
-pub use dir::DirEntry;
+pub use dir::{DirEntry, ForwardTargets, SharerIter};
 pub use latency::LatencyConfig;
 pub use network::Grid;
 pub use oracle::{AccessKind, ConflictOracle, NullOracle, SerializabilityOracle};

@@ -22,9 +22,19 @@ use crate::addr::WordAddr;
 /// m.write(WordAddr(64), 7);
 /// assert_eq!(m.read(WordAddr(64)), 7);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct MemStore {
     words: HashMap<u64, u64>,
+}
+
+/// Renders the nonzero words in **address order**. The backing map is a
+/// `HashMap` whose iteration order is seeded per process, so a derived
+/// `Debug` would differ run to run and anything quoting it in a report or
+/// failure message would break byte-identical repro output.
+impl std::fmt::Debug for MemStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter_sorted()).finish()
+    }
 }
 
 impl MemStore {
@@ -61,6 +71,16 @@ impl MemStore {
     pub fn nonzero_words(&self) -> usize {
         self.words.len()
     }
+
+    /// The nonzero words in **ascending address order** — the only iteration
+    /// this type exposes. Dumps, fingerprints, and divergence reports must
+    /// come through here: the backing `HashMap`'s own order is seeded per
+    /// process and would leak nondeterminism into any output built from it.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (WordAddr, u64)> + '_ {
+        let mut entries: Vec<(u64, u64)> = self.words.iter().map(|(&a, &v)| (a, v)).collect();
+        entries.sort_unstable_by_key(|&(a, _)| a);
+        entries.into_iter().map(|(a, v)| (WordAddr(a), v))
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +109,28 @@ mod tests {
         m.write(WordAddr(1), 0);
         assert_eq!(m.nonzero_words(), 0);
         assert_eq!(m.read(WordAddr(1)), 0);
+    }
+
+    #[test]
+    fn debug_and_iteration_are_sorted_regardless_of_insert_order() {
+        // Two stores with the same contents inserted in opposite orders
+        // (enough keys that HashMap bucket layout would differ) must render
+        // identically and iterate in ascending address order.
+        let addrs: Vec<u64> = (0..64).map(|i| (i * 0x9E37) % 4096).collect();
+        let mut a = MemStore::new();
+        let mut b = MemStore::new();
+        for &x in &addrs {
+            a.write(WordAddr(x), x + 1);
+        }
+        for &x in addrs.iter().rev() {
+            b.write(WordAddr(x), x + 1);
+        }
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let seq: Vec<u64> = a.iter_sorted().map(|(addr, _)| addr.0).collect();
+        let mut sorted = seq.clone();
+        sorted.sort_unstable();
+        assert_eq!(seq, sorted, "iter_sorted must ascend");
+        assert_eq!(seq.len(), a.nonzero_words());
     }
 
     #[test]

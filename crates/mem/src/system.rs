@@ -926,7 +926,7 @@ impl MemorySystem {
         // Every core the directory names (owner + sharers, possibly sticky)
         // gets a signature check before any invalidation happens.
         let targets = dir.forward_targets(core);
-        for &t in &targets {
+        for t in targets {
             self.stats.messages.inc();
             if let Some(nacker) = oracle.check_core(t, AccessKind::Store, block, requester) {
                 self.stats.forwards.inc();
@@ -936,7 +936,7 @@ impl MemorySystem {
 
         // No conflicts: invalidate every remote copy and take ownership.
         let mut had_remote_owner_copy = false;
-        for &t in &targets {
+        for t in targets {
             if self.l1s[t as usize].remove(&block).is_some() {
                 self.stats.invalidations.inc();
                 if dir.owner == Some(t) {
@@ -955,8 +955,7 @@ impl MemorySystem {
         }
 
         let worst_target = targets
-            .iter()
-            .map(|&t| self.fwd_path(core, bank, t))
+            .map(|t| self.fwd_path(core, bank, t))
             .max()
             .unwrap_or(Cycle::ZERO);
         let (latency, source) = if had_remote_owner_copy {

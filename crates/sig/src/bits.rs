@@ -1,0 +1,210 @@
+//! Word-packed signature bit storage.
+//!
+//! [`SigBits`] is the filter backing shared by every hashed signature
+//! implementation (BS/CBS/DBS/Bloom/permuted-DBS) and by the enum-dispatched
+//! [`crate::SigRepr`] used on the per-access conflict-check hot path. All
+//! operations are plain word ops — no hashing, no allocation — so a
+//! membership test compiles down to a shift, a mask, and one load.
+
+/// A fixed-size bit array packed into `u64` words.
+///
+/// ```
+/// use ltse_sig::SigBits;
+///
+/// let mut b = SigBits::new(128);
+/// b.insert(7);
+/// assert!(b.test(7));
+/// assert!(!b.test(8));
+///
+/// let mut c = SigBits::new(128);
+/// c.insert(7);
+/// assert!(b.intersects(&c));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigBits {
+    words: Vec<u64>,
+    bits: usize,
+    set_count: usize,
+}
+
+impl SigBits {
+    /// Creates an all-zero array of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn new(bits: usize) -> Self {
+        assert!(bits > 0, "signature must have at least one bit");
+        SigBits {
+            words: vec![0; bits.div_ceil(64)],
+            bits,
+            set_count: 0,
+        }
+    }
+
+    /// Sets bit `idx`.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) {
+        debug_assert!(idx < self.bits);
+        let w = idx / 64;
+        let b = 1u64 << (idx % 64);
+        if self.words[w] & b == 0 {
+            self.words[w] |= b;
+            self.set_count += 1;
+        }
+    }
+
+    /// Tests bit `idx`.
+    #[inline]
+    pub fn test(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.bits);
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Zeroes every bit.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.set_count = 0;
+    }
+
+    /// Total number of bits.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Number of set bits.
+    pub fn set_count(&self) -> usize {
+        self.set_count
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.set_count == 0
+    }
+
+    /// ORs `other` into `self` (set union), word by word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two arrays have different sizes.
+    pub fn union_with(&mut self, other: &SigBits) {
+        assert_eq!(
+            self.bits, other.bits,
+            "cannot union signatures of different sizes"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+        self.recount();
+    }
+
+    /// Whether any bit is set in both arrays (word-wise AND scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two arrays have different sizes.
+    pub fn intersects(&self, other: &SigBits) -> bool {
+        assert_eq!(
+            self.bits, other.bits,
+            "cannot intersect signatures of different sizes"
+        );
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// The raw packed words (software-visible signature state).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Replaces the contents with previously captured words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` has the wrong length for this array.
+    pub fn load_words(&mut self, words: &[u64]) {
+        assert_eq!(
+            self.words.len(),
+            words.len(),
+            "saved signature has wrong word count"
+        );
+        self.words.copy_from_slice(words);
+        self.recount();
+    }
+
+    fn recount(&mut self) {
+        self.set_count = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_test_clear() {
+        let mut b = SigBits::new(100);
+        assert!(b.is_empty());
+        b.insert(0);
+        b.insert(99);
+        b.insert(99); // idempotent
+        assert!(b.test(0));
+        assert!(b.test(99));
+        assert!(!b.test(50));
+        assert_eq!(b.set_count(), 2);
+        b.clear();
+        assert!(b.is_empty());
+        assert!(!b.test(0));
+    }
+
+    #[test]
+    fn union() {
+        let mut a = SigBits::new(64);
+        let mut b = SigBits::new(64);
+        a.insert(1);
+        b.insert(2);
+        a.union_with(&b);
+        assert!(a.test(1) && a.test(2));
+        assert_eq!(a.set_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sizes")]
+    fn union_size_mismatch_panics() {
+        let mut a = SigBits::new(64);
+        let b = SigBits::new(128);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn intersects_finds_common_bits() {
+        let mut a = SigBits::new(256);
+        let mut b = SigBits::new(256);
+        a.insert(3);
+        a.insert(200);
+        b.insert(4);
+        assert!(!a.intersects(&b));
+        b.insert(200);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "different sizes")]
+    fn intersects_size_mismatch_panics() {
+        let a = SigBits::new(64);
+        let b = SigBits::new(128);
+        a.intersects(&b);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut a = SigBits::new(128);
+        a.insert(7);
+        a.insert(127);
+        let words = a.words().to_vec();
+        let mut b = SigBits::new(128);
+        b.load_words(&words);
+        assert_eq!(a, b);
+        assert_eq!(b.set_count(), 2);
+    }
+}

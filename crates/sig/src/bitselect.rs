@@ -1,7 +1,8 @@
 //! The paper's Figure 3 signature implementations: bit-select (BS),
 //! double-bit-select (DBS), and coarse-bit-select (CBS).
 
-use crate::traits::{BitArray, SavedSignature, Signature};
+use crate::bits::SigBits;
+use crate::traits::{SavedSignature, Signature};
 
 fn assert_power_of_two(bits: usize) {
     assert!(
@@ -26,7 +27,7 @@ fn assert_power_of_two(bits: usize) {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitSelectSignature {
-    bits: BitArray,
+    bits: SigBits,
     mask: u64,
 }
 
@@ -39,7 +40,7 @@ impl BitSelectSignature {
     pub fn new(bits: usize) -> Self {
         assert_power_of_two(bits);
         BitSelectSignature {
-            bits: BitArray::new(bits),
+            bits: SigBits::new(bits),
             mask: bits as u64 - 1,
         }
     }
@@ -53,11 +54,11 @@ impl BitSelectSignature {
 impl Signature for BitSelectSignature {
     fn insert(&mut self, a: u64) {
         let idx = self.index(a);
-        self.bits.set(idx);
+        self.bits.insert(idx);
     }
 
     fn maybe_contains(&self, a: u64) -> bool {
-        self.bits.get(self.index(a))
+        self.bits.test(self.index(a))
     }
 
     fn clear(&mut self) {
@@ -71,7 +72,7 @@ impl Signature for BitSelectSignature {
     fn union_with(&mut self, other: &dyn Signature) {
         match other.save() {
             SavedSignature::Bits(words) => {
-                let mut tmp = BitArray::new(self.bits.len());
+                let mut tmp = SigBits::new(self.bits.len());
                 tmp.load_words(&words);
                 self.bits.union_with(&tmp);
             }
@@ -120,7 +121,7 @@ impl Signature for BitSelectSignature {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoarseBitSelectSignature {
-    bits: BitArray,
+    bits: SigBits,
     mask: u64,
     shift: u32,
 }
@@ -139,7 +140,7 @@ impl CoarseBitSelectSignature {
             "macroblock size must be a power of two"
         );
         CoarseBitSelectSignature {
-            bits: BitArray::new(bits),
+            bits: SigBits::new(bits),
             mask: bits as u64 - 1,
             shift: blocks_per_macroblock.trailing_zeros(),
         }
@@ -154,11 +155,11 @@ impl CoarseBitSelectSignature {
 impl Signature for CoarseBitSelectSignature {
     fn insert(&mut self, a: u64) {
         let idx = self.index(a);
-        self.bits.set(idx);
+        self.bits.insert(idx);
     }
 
     fn maybe_contains(&self, a: u64) -> bool {
-        self.bits.get(self.index(a))
+        self.bits.test(self.index(a))
     }
 
     fn clear(&mut self) {
@@ -172,7 +173,7 @@ impl Signature for CoarseBitSelectSignature {
     fn union_with(&mut self, other: &dyn Signature) {
         match other.save() {
             SavedSignature::Bits(words) => {
-                let mut tmp = BitArray::new(self.bits.len());
+                let mut tmp = SigBits::new(self.bits.len());
                 tmp.load_words(&words);
                 self.bits.union_with(&tmp);
             }
@@ -221,7 +222,7 @@ impl Signature for CoarseBitSelectSignature {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DoubleBitSelectSignature {
-    bits: BitArray,
+    bits: SigBits,
     half: usize,
     field_bits: u32,
 }
@@ -238,7 +239,7 @@ impl DoubleBitSelectSignature {
         assert!(bits >= 4, "DBS needs at least 4 bits");
         let half = bits / 2;
         DoubleBitSelectSignature {
-            bits: BitArray::new(bits),
+            bits: SigBits::new(bits),
             half,
             field_bits: half.trailing_zeros(),
         }
@@ -256,13 +257,13 @@ impl DoubleBitSelectSignature {
 impl Signature for DoubleBitSelectSignature {
     fn insert(&mut self, a: u64) {
         let (lo, hi) = self.indices(a);
-        self.bits.set(lo);
-        self.bits.set(hi);
+        self.bits.insert(lo);
+        self.bits.insert(hi);
     }
 
     fn maybe_contains(&self, a: u64) -> bool {
         let (lo, hi) = self.indices(a);
-        self.bits.get(lo) && self.bits.get(hi)
+        self.bits.test(lo) && self.bits.test(hi)
     }
 
     fn clear(&mut self) {
@@ -276,7 +277,7 @@ impl Signature for DoubleBitSelectSignature {
     fn union_with(&mut self, other: &dyn Signature) {
         match other.save() {
             SavedSignature::Bits(words) => {
-                let mut tmp = BitArray::new(self.bits.len());
+                let mut tmp = SigBits::new(self.bits.len());
                 tmp.load_words(&words);
                 self.bits.union_with(&tmp);
             }

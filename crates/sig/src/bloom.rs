@@ -2,7 +2,8 @@
 
 use ltse_sim::rng::mix64;
 
-use crate::traits::{BitArray, SavedSignature, Signature};
+use crate::bits::SigBits;
+use crate::traits::{SavedSignature, Signature};
 
 /// A Bloom-filter signature with `k` independent H3-style hash functions.
 ///
@@ -25,7 +26,7 @@ use crate::traits::{BitArray, SavedSignature, Signature};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BloomSignature {
-    bits: BitArray,
+    bits: SigBits,
     k: u32,
     mask: u64,
 }
@@ -44,7 +45,7 @@ impl BloomSignature {
         );
         assert!(k > 0, "Bloom signature needs at least one hash");
         BloomSignature {
-            bits: BitArray::new(bits),
+            bits: SigBits::new(bits),
             k,
             mask: bits as u64 - 1,
         }
@@ -69,12 +70,12 @@ impl Signature for BloomSignature {
     fn insert(&mut self, a: u64) {
         for i in 0..self.k {
             let idx = self.index(a, i);
-            self.bits.set(idx);
+            self.bits.insert(idx);
         }
     }
 
     fn maybe_contains(&self, a: u64) -> bool {
-        (0..self.k).all(|i| self.bits.get(self.index(a, i)))
+        (0..self.k).all(|i| self.bits.test(self.index(a, i)))
     }
 
     fn clear(&mut self) {
@@ -88,7 +89,7 @@ impl Signature for BloomSignature {
     fn union_with(&mut self, other: &dyn Signature) {
         match other.save() {
             SavedSignature::Bits(words) => {
-                let mut tmp = BitArray::new(self.bits.len());
+                let mut tmp = SigBits::new(self.bits.len());
                 tmp.load_words(&words);
                 self.bits.union_with(&tmp);
             }

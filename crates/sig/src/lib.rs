@@ -65,15 +65,18 @@
 
 pub mod analysis;
 
+mod bits;
 mod bitselect;
 mod bloom;
 mod counting;
 mod kind;
 mod perfect;
+mod repr;
 mod rw;
 mod shadow;
 mod traits;
 
+pub use bits::SigBits;
 pub use bitselect::{
     BitSelectSignature, CoarseBitSelectSignature, DoubleBitSelectSignature,
     PermutedBitSelectSignature,
@@ -82,6 +85,7 @@ pub use bloom::BloomSignature;
 pub use counting::CountingSignature;
 pub use kind::SignatureKind;
 pub use perfect::PerfectSignature;
+pub use repr::{SigProbe, SigRepr};
 pub use rw::{ReadWriteSignature, SigOp};
 pub use shadow::{ConflictVerdict, ShadowedRwSignature, ShadowedSave};
 pub use traits::{SavedSignature, Signature};

@@ -1,7 +1,7 @@
 //! The paired read/write signatures a thread context owns, with the paper's
 //! conflict semantics.
 
-use crate::{SavedSignature, Signature, SignatureKind};
+use crate::{SavedSignature, SigRepr, Signature, SignatureKind};
 
 /// Whether a memory access (or the coherence request it generates) reads or
 /// writes — the `O` in the paper's `INSERT(O, A)` / `CONFLICT(O, A)`.
@@ -41,10 +41,14 @@ impl std::fmt::Display for SigOp {
 /// assert!(rw.conflicts_with(SigOp::Write, 1));
 /// assert!(!rw.conflicts_with(SigOp::Read, 1)); // read-read never conflicts
 /// ```
+/// The pair is backed by [`SigRepr`], the enum-dispatched representation, so
+/// the per-access conflict check is a `match` plus word ops rather than two
+/// virtual calls. Boxed [`Signature`] trait objects appear only at the API
+/// edges ([`ReadWriteSignature::from_parts`], [`ReadWriteSignature::read_sig`]).
 #[derive(Debug, Clone)]
 pub struct ReadWriteSignature {
-    read: Box<dyn Signature>,
-    write: Box<dyn Signature>,
+    read: SigRepr,
+    write: SigRepr,
     kind: SignatureKind,
 }
 
@@ -52,21 +56,24 @@ impl ReadWriteSignature {
     /// Creates an empty pair of the given kind.
     pub fn new(kind: &SignatureKind) -> Self {
         ReadWriteSignature {
-            read: kind.build(),
-            write: kind.build(),
+            read: SigRepr::new(kind),
+            write: SigRepr::new(kind),
             kind: *kind,
         }
     }
 
     /// Assembles a pair from pre-built signatures (used by the OS model to
-    /// materialize summary signatures from counting structures).
+    /// materialize summary signatures from counting structures). The boxed
+    /// contents are copied verbatim into the enum representation.
     ///
-    /// The caller is responsible for `read`/`write` actually matching
-    /// `kind`; save/restore against a mismatched kind will panic later.
+    /// # Panics
+    ///
+    /// Panics if `read`/`write` do not actually match `kind` (their saved
+    /// shape fails to load into a fresh signature of that kind).
     pub fn from_parts(kind: &SignatureKind, read: Box<dyn Signature>, write: Box<dyn Signature>) -> Self {
         ReadWriteSignature {
-            read,
-            write,
+            read: SigRepr::from_boxed(kind, read.as_ref()),
+            write: SigRepr::from_boxed(kind, write.as_ref()),
             kind: *kind,
         }
     }
@@ -77,53 +84,64 @@ impl ReadWriteSignature {
     }
 
     /// `INSERT(op, a)`: records a local access.
+    #[inline]
     pub fn insert(&mut self, op: SigOp, a: u64) {
         match op {
-            SigOp::Read => self.read.insert(a),
-            SigOp::Write => self.write.insert(a),
+            SigOp::Read => self.read.insert_block(a),
+            SigOp::Write => self.write.insert_block(a),
         }
     }
 
     /// `CONFLICT(op, a)`: does an incoming access of kind `op` to address `a`
-    /// conflict with this context's sets?
+    /// conflict with this context's sets? For an incoming write both sets are
+    /// consulted, but the address is hashed only once ([`SigRepr::probe`]).
+    #[inline]
     pub fn conflicts_with(&self, op: SigOp, a: u64) -> bool {
         match op {
-            SigOp::Read => self.write.maybe_contains(a),
-            SigOp::Write => self.read.maybe_contains(a) || self.write.maybe_contains(a),
+            SigOp::Read => self.write.test_block(a),
+            SigOp::Write => {
+                let p = self.read.probe(a);
+                self.read.test_probe(&p) || self.write.test_probe(&p)
+            }
         }
     }
 
     /// Whether `a` may be in the write-set (needed for logging decisions and
     /// sticky-state bookkeeping).
+    #[inline]
     pub fn in_write_set(&self, a: u64) -> bool {
-        self.write.maybe_contains(a)
+        self.write.test_block(a)
     }
 
     /// Whether `a` may be in the read-set.
+    #[inline]
     pub fn in_read_set(&self, a: u64) -> bool {
-        self.read.maybe_contains(a)
+        self.read.test_block(a)
     }
 
     /// Whether `a` may be in either set (used to decide if an evicted block
-    /// is "transactional" and needs a sticky directory state).
+    /// is "transactional" and needs a sticky directory state). Hashes `a`
+    /// once and tests both filters.
+    #[inline]
     pub fn in_either_set(&self, a: u64) -> bool {
-        self.read.maybe_contains(a) || self.write.maybe_contains(a)
+        let p = self.read.probe(a);
+        self.read.test_probe(&p) || self.write.test_probe(&p)
     }
 
     /// `CLEAR` on both sets — the core of LogTM-SE's local commit.
     pub fn clear(&mut self) {
-        self.read.clear();
-        self.write.clear();
+        self.read.clear_all();
+        self.write.clear_all();
     }
 
     /// Whether both sets are empty (no transaction footprint).
     pub fn is_empty(&self) -> bool {
-        self.read.is_empty() && self.write.is_empty()
+        self.read.is_clear() && self.write.is_clear()
     }
 
     /// Saves both signatures — the log-frame header signature-save area.
     pub fn save(&self) -> (SavedSignature, SavedSignature) {
-        (self.read.save(), self.write.save())
+        (self.read.save_state(), self.write.save_state())
     }
 
     /// Restores a previously saved pair.
@@ -132,44 +150,55 @@ impl ReadWriteSignature {
     ///
     /// Panics if the saved shapes don't match the configured kind.
     pub fn restore(&mut self, saved: &(SavedSignature, SavedSignature)) {
-        self.read.restore(&saved.0);
-        self.write.restore(&saved.1);
+        self.read.restore_saved(&saved.0);
+        self.write.restore_saved(&saved.1);
     }
 
-    /// Unions another pair into this one (summary-signature construction).
+    /// Unions another pair into this one (summary-signature construction) —
+    /// a word-level OR, no per-address probing.
     pub fn union_with(&mut self, other: &ReadWriteSignature) {
-        self.read.union_with(other.read.as_ref());
-        self.write.union_with(other.write.as_ref());
+        self.read.union_repr(&other.read);
+        self.write.union_repr(&other.write);
     }
 
     /// Folds both of this pair's sets into a single signature (a summary
     /// signature is one signature covering reads and writes, §4.1).
     pub fn fold_into(&self, summary: &mut dyn Signature) {
-        summary.union_with(self.read.as_ref());
-        summary.union_with(self.write.as_ref());
+        summary.union_with(&self.read);
+        summary.union_with(&self.write);
     }
 
     /// Mean saturation across the two filters.
     pub fn saturation(&self) -> f64 {
-        (self.read.saturation() + self.write.saturation()) / 2.0
+        (self.read.fill() + self.write.fill()) / 2.0
     }
 
     /// Conservative page-remap of both sets (paper §4.2).
     pub fn rehash_page(&mut self, old_page_base_block: u64, new_page_base_block: u64, blocks: u64) {
-        self.read
-            .rehash_page(old_page_base_block, new_page_base_block, blocks);
-        self.write
-            .rehash_page(old_page_base_block, new_page_base_block, blocks);
+        Signature::rehash_page(&mut self.read, old_page_base_block, new_page_base_block, blocks);
+        Signature::rehash_page(&mut self.write, old_page_base_block, new_page_base_block, blocks);
     }
 
-    /// Read-only access to the read signature.
+    /// Read-only access to the read signature as a trait object (API edge).
     pub fn read_sig(&self) -> &dyn Signature {
-        self.read.as_ref()
+        &self.read
     }
 
-    /// Read-only access to the write signature.
+    /// Read-only access to the write signature as a trait object (API edge).
     pub fn write_sig(&self) -> &dyn Signature {
-        self.write.as_ref()
+        &self.write
+    }
+
+    /// The read set's enum representation (hot-path consumers).
+    #[inline]
+    pub fn read_repr(&self) -> &SigRepr {
+        &self.read
+    }
+
+    /// The write set's enum representation (hot-path consumers).
+    #[inline]
+    pub fn write_repr(&self) -> &SigRepr {
+        &self.write
     }
 }
 

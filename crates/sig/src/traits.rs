@@ -107,138 +107,9 @@ impl SavedSignature {
     }
 }
 
-/// A fixed-size bit array shared by the hashed signature implementations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct BitArray {
-    words: Vec<u64>,
-    bits: usize,
-    set_count: usize,
-}
-
-impl BitArray {
-    pub(crate) fn new(bits: usize) -> Self {
-        assert!(bits > 0, "signature must have at least one bit");
-        BitArray {
-            words: vec![0; bits.div_ceil(64)],
-            bits,
-            set_count: 0,
-        }
-    }
-
-    #[inline]
-    pub(crate) fn set(&mut self, idx: usize) {
-        debug_assert!(idx < self.bits);
-        let w = idx / 64;
-        let b = 1u64 << (idx % 64);
-        if self.words[w] & b == 0 {
-            self.words[w] |= b;
-            self.set_count += 1;
-        }
-    }
-
-    #[inline]
-    pub(crate) fn get(&self, idx: usize) -> bool {
-        debug_assert!(idx < self.bits);
-        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
-    }
-
-    pub(crate) fn clear(&mut self) {
-        self.words.iter_mut().for_each(|w| *w = 0);
-        self.set_count = 0;
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.bits
-    }
-
-    pub(crate) fn set_count(&self) -> usize {
-        self.set_count
-    }
-
-    pub(crate) fn is_empty(&self) -> bool {
-        self.set_count == 0
-    }
-
-    pub(crate) fn union_with(&mut self, other: &BitArray) {
-        assert_eq!(
-            self.bits, other.bits,
-            "cannot union signatures of different sizes"
-        );
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= *b;
-        }
-        self.recount();
-    }
-
-    pub(crate) fn words(&self) -> &[u64] {
-        &self.words
-    }
-
-    pub(crate) fn load_words(&mut self, words: &[u64]) {
-        assert_eq!(
-            self.words.len(),
-            words.len(),
-            "saved signature has wrong word count"
-        );
-        self.words.copy_from_slice(words);
-        self.recount();
-    }
-
-    fn recount(&mut self) {
-        self.set_count = self.words.iter().map(|w| w.count_ones() as usize).sum();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bitarray_set_get_clear() {
-        let mut b = BitArray::new(100);
-        assert!(b.is_empty());
-        b.set(0);
-        b.set(99);
-        b.set(99); // idempotent
-        assert!(b.get(0));
-        assert!(b.get(99));
-        assert!(!b.get(50));
-        assert_eq!(b.set_count(), 2);
-        b.clear();
-        assert!(b.is_empty());
-        assert!(!b.get(0));
-    }
-
-    #[test]
-    fn bitarray_union() {
-        let mut a = BitArray::new(64);
-        let mut b = BitArray::new(64);
-        a.set(1);
-        b.set(2);
-        a.union_with(&b);
-        assert!(a.get(1) && a.get(2));
-        assert_eq!(a.set_count(), 2);
-    }
-
-    #[test]
-    #[should_panic(expected = "different sizes")]
-    fn bitarray_union_size_mismatch_panics() {
-        let mut a = BitArray::new(64);
-        let b = BitArray::new(128);
-        a.union_with(&b);
-    }
-
-    #[test]
-    fn bitarray_word_roundtrip() {
-        let mut a = BitArray::new(128);
-        a.set(7);
-        a.set(127);
-        let words = a.words().to_vec();
-        let mut b = BitArray::new(128);
-        b.load_words(&words);
-        assert_eq!(a, b);
-        assert_eq!(b.set_count(), 2);
-    }
 
     #[test]
     fn saved_signature_sizes() {

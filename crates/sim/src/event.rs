@@ -1,7 +1,7 @@
 //! Deterministic event queue.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Cycle;
 
@@ -18,8 +18,8 @@ pub trait EventChooser {
     fn choose(&mut self, n: usize) -> usize;
 }
 
-/// An entry in the heap: ordered by time, then by insertion sequence so that
-/// events scheduled for the same cycle pop in FIFO order. `BinaryHeap` is a
+/// An entry: ordered by time, then by insertion sequence so that events
+/// scheduled for the same cycle pop in FIFO order. `BinaryHeap` is a
 /// max-heap, so comparisons are reversed.
 struct Entry<E> {
     time: Cycle,
@@ -51,12 +51,31 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Number of calendar buckets, one simulated cycle each. Covers the
+/// overwhelmingly common small-delta schedules (cache hits, network hops,
+/// NACK retries) with O(1) push/pop; anything scheduled further out takes
+/// the heap fallback and migrates into the calendar as the window slides.
+const NUM_BUCKETS: usize = 256;
+const BUCKET_MASK: u64 = NUM_BUCKETS as u64 - 1;
+const OCC_WORDS: usize = NUM_BUCKETS / 64;
+
 /// A priority queue of timestamped events with deterministic ordering.
 ///
 /// Events pop in nondecreasing [`Cycle`] order; events scheduled for the same
 /// cycle pop in the order they were pushed (stable FIFO tie-breaking). This
 /// determinism is load-bearing: the whole LogTM-SE evaluation relies on runs
 /// being exactly reproducible from `(config, seed)`.
+///
+/// # Implementation
+///
+/// A bucketed calendar queue fronts a binary heap. Buckets cover the sliding
+/// window `[window_start, window_start + 256)` at one-cycle granularity, so
+/// the hot path (small scheduling deltas) is an append to a ring slot and a
+/// bitmap scan — no sift. Events outside the window land in the heap and are
+/// migrated into buckets as the window advances; each event migrates at most
+/// once. The observable order is **exactly** the `(time, seq)` order the
+/// plain heap produced, including [`EventQueue::pop_explored`] semantics —
+/// the differential tests below pin this down.
 ///
 /// # Example
 ///
@@ -72,17 +91,41 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), Some((Cycle(1), Ev::Tick)));
 /// assert_eq!(q.pop(), Some((Cycle(2), Ev::Tock)));
 /// ```
-#[derive(Default)]
 pub struct EventQueue<E> {
+    /// Ring of one-cycle buckets; slot `t & BUCKET_MASK` holds entries for
+    /// time `t` while `t` lies inside the window. Each bucket stays sorted
+    /// by `seq` (plain pushes append — their seq is the largest so far;
+    /// exploration re-pushes insert by binary search).
+    buckets: Vec<VecDeque<Entry<E>>>,
+    /// Occupancy bitmap over `buckets`, for O(words) next-event scans.
+    occ: [u64; OCC_WORDS],
+    /// Total entries across all buckets.
+    bucket_len: usize,
+    /// Start of the bucket window. Only ever advances, and only to the
+    /// timestamp of a global-minimum event (so no pending event is left
+    /// behind it except strays re-routed to the heap).
+    window_start: Cycle,
+    /// Fallback for events beyond the window (and for rare stray pushes at
+    /// times the window has already passed, which exploration can create).
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at cycle 0.
     pub fn new() -> Self {
         EventQueue {
+            buckets: (0..NUM_BUCKETS).map(|_| VecDeque::new()).collect(),
+            occ: [0; OCC_WORDS],
+            bucket_len: 0,
+            window_start: Cycle::ZERO,
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Cycle::ZERO,
@@ -95,6 +138,7 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `at` is earlier than the current simulation time (events may
     /// not be scheduled in the past).
+    #[inline]
     pub fn push(&mut self, at: Cycle, payload: E) {
         assert!(
             at >= self.now,
@@ -103,7 +147,7 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
+        self.push_entry(Entry {
             time: at,
             seq,
             payload,
@@ -111,14 +155,153 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedules `payload` to fire `delay` cycles after the current time.
+    #[inline]
     pub fn push_after(&mut self, delay: Cycle, payload: E) {
         self.push(self.now + delay, payload);
+    }
+
+    /// Routes an entry (with an already-assigned seq) to a bucket or the
+    /// heap by its timestamp.
+    fn push_entry(&mut self, e: Entry<E>) {
+        if e.time >= self.window_start
+            && e.time.0 - self.window_start.0 < NUM_BUCKETS as u64
+        {
+            self.bucket_insert(e);
+        } else {
+            self.heap.push(e);
+        }
+    }
+
+    /// Inserts into the bucket ring, keeping the slot's seq order. The fast
+    /// path is a plain append: ordinary pushes always carry the largest seq.
+    fn bucket_insert(&mut self, e: Entry<E>) {
+        let idx = (e.time.0 & BUCKET_MASK) as usize;
+        let dq = &mut self.buckets[idx];
+        debug_assert!(dq.back().is_none_or(|b| b.time == e.time));
+        match dq.back() {
+            Some(b) if b.seq > e.seq => {
+                let pos = dq.partition_point(|x| x.seq < e.seq);
+                dq.insert(pos, e);
+            }
+            _ => dq.push_back(e),
+        }
+        self.occ[idx / 64] |= 1u64 << (idx % 64);
+        self.bucket_len += 1;
+    }
+
+    /// Removes the front entry of the bucket for time `t`.
+    fn pop_bucket(&mut self, t: Cycle) -> Entry<E> {
+        let idx = (t.0 & BUCKET_MASK) as usize;
+        let e = self.buckets[idx].pop_front().expect("pop from empty bucket");
+        if self.buckets[idx].is_empty() {
+            self.occ[idx / 64] &= !(1u64 << (idx % 64));
+        }
+        self.bucket_len -= 1;
+        e
+    }
+
+    /// First occupied bucket bit in `[lo, hi)`, if any.
+    fn first_occupied_in(&self, lo: usize, hi: usize) -> Option<usize> {
+        if lo >= hi {
+            return None;
+        }
+        let mut w = lo / 64;
+        let last_w = (hi - 1) / 64;
+        let mut word = self.occ[w] & (!0u64 << (lo % 64));
+        loop {
+            let mut masked = word;
+            if w == last_w {
+                let top = hi - w * 64;
+                if top < 64 {
+                    masked &= (1u64 << top) - 1;
+                }
+            }
+            if masked != 0 {
+                return Some(w * 64 + masked.trailing_zeros() as usize);
+            }
+            if w == last_w {
+                return None;
+            }
+            w += 1;
+            word = self.occ[w];
+        }
+    }
+
+    /// The earliest bucketed event as a `(time, seq)` key, scanning the
+    /// occupancy bitmap from the window start (with wraparound).
+    fn next_bucket_key(&self) -> Option<(Cycle, u64)> {
+        if self.bucket_len == 0 {
+            return None;
+        }
+        let s = (self.window_start.0 & BUCKET_MASK) as usize;
+        let p = self
+            .first_occupied_in(s, NUM_BUCKETS)
+            .or_else(|| self.first_occupied_in(0, s))
+            .expect("bucket_len > 0 but occupancy bitmap empty");
+        let dist = (p.wrapping_sub(s) as u64) & BUCKET_MASK;
+        let t = Cycle(self.window_start.0 + dist);
+        let front = self.buckets[p].front().expect("occupied bucket");
+        debug_assert_eq!(front.time, t);
+        Some((t, front.seq))
+    }
+
+    /// Slides the window start forward to `t` (the time of a global-minimum
+    /// event) and migrates newly covered heap entries into buckets. The heap
+    /// drains in `(time, seq)` order, so per-bucket seq order is preserved.
+    fn advance_window(&mut self, t: Cycle) {
+        if t > self.window_start {
+            self.window_start = t;
+        }
+        let horizon = self.window_start.0.saturating_add(NUM_BUCKETS as u64);
+        while let Some(top) = self.heap.peek() {
+            if top.time.0 >= horizon {
+                break;
+            }
+            let e = self.heap.pop().expect("peeked entry");
+            self.bucket_insert(e);
+        }
+    }
+
+    /// Removes the globally smallest `(time, seq)` entry without touching
+    /// `now` — shared by [`EventQueue::pop`] and
+    /// [`EventQueue::pop_explored`].
+    fn pop_min_entry(&mut self) -> Option<Entry<E>> {
+        let b = self.next_bucket_key();
+        let h = self.heap.peek().map(|e| (e.time, e.seq));
+        match (b, h) {
+            (None, None) => None,
+            (Some((t, _)), None) => {
+                self.advance_window(t);
+                Some(self.pop_bucket(t))
+            }
+            (None, Some((t, _))) => {
+                if t >= self.window_start {
+                    self.advance_window(t);
+                    Some(self.pop_bucket(t))
+                } else {
+                    // Stray behind the window (exploration re-push): the
+                    // heap alone holds it.
+                    Some(self.heap.pop().expect("peeked entry"))
+                }
+            }
+            (Some(bk), Some(hk)) => {
+                if bk < hk {
+                    self.advance_window(bk.0);
+                    Some(self.pop_bucket(bk.0))
+                } else if hk.0 >= self.window_start {
+                    self.advance_window(hk.0);
+                    Some(self.pop_bucket(hk.0))
+                } else {
+                    Some(self.heap.pop().expect("peeked entry"))
+                }
+            }
+        }
     }
 
     /// Removes and returns the earliest event, advancing the queue's notion
     /// of "now" to its timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let entry = self.heap.pop()?;
+        let entry = self.pop_min_entry()?;
         debug_assert!(entry.time >= self.now);
         self.now = entry.time;
         Some((entry.time, entry.payload))
@@ -145,14 +328,14 @@ impl<E> EventQueue<E> {
         if window <= 1 {
             return self.pop();
         }
-        let first = self.heap.pop()?;
+        let first = self.pop_min_entry()?;
         let fire_at = first.time;
         let cutoff = fire_at + horizon;
         let mut eligible = vec![first];
         while eligible.len() < window {
-            match self.heap.peek() {
-                Some(e) if e.time <= cutoff => {
-                    eligible.push(self.heap.pop().expect("peeked entry"));
+            match self.peek_time() {
+                Some(t) if t <= cutoff => {
+                    eligible.push(self.pop_min_entry().expect("peeked entry"));
                 }
                 _ => break,
             }
@@ -164,7 +347,7 @@ impl<E> EventQueue<E> {
         };
         let chosen = eligible.swap_remove(pick);
         for entry in eligible {
-            self.heap.push(entry);
+            self.push_entry(entry);
         }
         self.now = fire_at;
         Some((fire_at, chosen.payload))
@@ -173,7 +356,12 @@ impl<E> EventQueue<E> {
     /// Returns the timestamp of the earliest pending event without removing
     /// it.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.time)
+        let b = self.next_bucket_key().map(|(t, _)| t);
+        let h = self.heap.peek().map(|e| e.time);
+        match (b, h) {
+            (None, t) | (t, None) => t,
+            (Some(a), Some(c)) => Some(a.min(c)),
+        }
     }
 
     /// Current simulation time: the timestamp of the most recently popped
@@ -184,16 +372,23 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.bucket_len + self.heap.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Drops all pending events, keeping the clock where it is.
     pub fn clear(&mut self) {
+        if self.bucket_len > 0 {
+            for dq in &mut self.buckets {
+                dq.clear();
+            }
+        }
+        self.occ = [0; OCC_WORDS];
+        self.bucket_len = 0;
         self.heap.clear();
     }
 }
@@ -202,7 +397,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.len())
             .finish()
     }
 }
@@ -363,5 +558,237 @@ mod tests {
         assert_eq!(q.pop(), Some((Cycle(2), 2)));
         assert_eq!(q.pop(), Some((Cycle(50), 50)));
         assert_eq!(q.pop(), Some((Cycle(100), 100)));
+    }
+
+    #[test]
+    fn far_future_events_take_the_heap_fallback_and_migrate() {
+        let mut q = EventQueue::new();
+        // Far beyond the 256-cycle calendar window.
+        q.push(Cycle(10_000), 'z');
+        q.push(Cycle(10_000), 'y'); // FIFO at the same far time
+        q.push(Cycle(3), 'a');
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((Cycle(3), 'a')));
+        // Window slides to 10_000; both migrate preserving FIFO.
+        assert_eq!(q.pop(), Some((Cycle(10_000), 'z')));
+        assert_eq!(q.pop(), Some((Cycle(10_000), 'y')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn window_boundary_straddle_keeps_order() {
+        let mut q = EventQueue::new();
+        // One event in-window, one exactly at the boundary, one just past.
+        q.push(Cycle(255), 'a');
+        q.push(Cycle(256), 'b');
+        q.push(Cycle(257), 'c');
+        assert_eq!(q.pop(), Some((Cycle(255), 'a')));
+        assert_eq!(q.pop(), Some((Cycle(256), 'b')));
+        assert_eq!(q.pop(), Some((Cycle(257), 'c')));
+    }
+
+    #[test]
+    fn same_time_split_across_heap_and_bucket_pops_in_seq_order() {
+        let mut q = EventQueue::new();
+        // seq 0 at t=300 goes to the heap (outside the initial window).
+        q.push(Cycle(300), 0);
+        // Drain an early event so the window slides to 100: t=300 is now
+        // inside [100, 356) — but it's already in the heap.
+        q.push(Cycle(100), -1);
+        assert_eq!(q.pop(), Some((Cycle(100), -1)));
+        // seq 2 at t=300 lands in the bucket directly.
+        q.push(Cycle(300), 1);
+        // Both must pop at t=300 in push (seq) order.
+        assert_eq!(q.pop(), Some((Cycle(300), 0)));
+        assert_eq!(q.pop(), Some((Cycle(300), 1)));
+    }
+
+    #[test]
+    fn ring_wraparound_reuses_slots_correctly() {
+        let mut q = EventQueue::new();
+        // March time forward well past several window lengths with a busy
+        // schedule that reuses every slot.
+        let mut expect = Vec::new();
+        for i in 0..2000u64 {
+            q.push(Cycle(i * 3), i);
+            expect.push((Cycle(i * 3), i));
+        }
+        for e in expect {
+            assert_eq!(q.pop(), Some(e));
+        }
+    }
+
+    #[test]
+    fn pop_explored_stray_behind_window_still_pops_in_order() {
+        // Exploration can advance the window past unchosen candidates'
+        // timestamps; those strays are re-routed to the heap and must still
+        // pop in (time, seq) order against bucketed events.
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), 'a');
+        q.push(Cycle(300), 'b'); // heap at push time
+        q.push(Cycle(301), 'c');
+        // Window big enough to gather all three; horizon covers them too.
+        let mut chooser = Fixed(vec![2], 0);
+        // 'c' fires at cycle 5; 'a' (t=5) and 'b' (t=300) stay pending, but
+        // the window has advanced to 301 — 'a' is now a stray.
+        assert_eq!(q.pop_explored(&mut chooser, Cycle(1000), 4), Some((Cycle(5), 'c')));
+        assert_eq!(q.pop(), Some((Cycle(5), 'a')));
+        assert_eq!(q.pop(), Some((Cycle(300), 'b')));
+        // New pushes still work and order correctly afterwards.
+        q.push(Cycle(300), 'd');
+        q.push(Cycle(600), 'e');
+        assert_eq!(q.pop(), Some((Cycle(300), 'd')));
+        assert_eq!(q.pop(), Some((Cycle(600), 'e')));
+    }
+
+    /// Reference implementation: the plain `BinaryHeap` queue this calendar
+    /// queue replaced. Kept verbatim (minus exploration) as a test oracle.
+    struct RefQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        next_seq: u64,
+        now: Cycle,
+    }
+
+    impl<E> RefQueue<E> {
+        fn new() -> Self {
+            RefQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                now: Cycle::ZERO,
+            }
+        }
+
+        fn push(&mut self, at: Cycle, payload: E) {
+            assert!(at >= self.now);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry {
+                time: at,
+                seq,
+                payload,
+            });
+        }
+
+        fn pop(&mut self) -> Option<(Cycle, E)> {
+            let e = self.heap.pop()?;
+            self.now = e.time;
+            Some((e.time, e.payload))
+        }
+
+        fn pop_explored(
+            &mut self,
+            chooser: &mut dyn EventChooser,
+            horizon: Cycle,
+            window: usize,
+        ) -> Option<(Cycle, E)> {
+            if window <= 1 {
+                return self.pop();
+            }
+            let first = self.heap.pop()?;
+            let fire_at = first.time;
+            let cutoff = fire_at + horizon;
+            let mut eligible = vec![first];
+            while eligible.len() < window {
+                match self.heap.peek() {
+                    Some(e) if e.time <= cutoff => {
+                        eligible.push(self.heap.pop().expect("peeked entry"));
+                    }
+                    _ => break,
+                }
+            }
+            let pick = if eligible.len() > 1 {
+                chooser.choose(eligible.len()).min(eligible.len() - 1)
+            } else {
+                0
+            };
+            let chosen = eligible.swap_remove(pick);
+            for entry in eligible {
+                self.heap.push(entry);
+            }
+            self.now = fire_at;
+            Some((fire_at, chosen.payload))
+        }
+    }
+
+    /// Differential property: under random push/pop workloads with mixed
+    /// near/far deltas, the calendar queue pops exactly what the reference
+    /// heap pops.
+    #[test]
+    fn differential_random_push_pop_matches_reference() {
+        crate::check::cases(60, 0x5EED_CA1E, |rng| {
+            let mut cal: EventQueue<u32> = EventQueue::new();
+            let mut refq: RefQueue<u32> = RefQueue::new();
+            let mut next_payload = 0u32;
+            for _ in 0..400 {
+                let action = rng.gen_range(0, 3);
+                if action < 2 || cal.is_empty() {
+                    // Push with a delta drawn from a spread of scales so we
+                    // exercise buckets, the boundary, and the heap fallback.
+                    let delta = match rng.gen_range(0, 4) {
+                        0 => rng.gen_range(0, 4),
+                        1 => rng.gen_range(0, 64),
+                        2 => 200 + rng.gen_range(0, 120), // straddles the boundary
+                        _ => rng.gen_range(0, 5_000),
+                    };
+                    let at = Cycle(cal.now().0 + delta);
+                    cal.push(at, next_payload);
+                    refq.push(at, next_payload);
+                    next_payload += 1;
+                } else {
+                    assert_eq!(cal.pop(), refq.pop());
+                }
+                assert_eq!(cal.len(), refq.heap.len());
+                assert_eq!(cal.peek_time(), refq.heap.peek().map(|e| e.time));
+            }
+            while !cal.is_empty() {
+                assert_eq!(cal.pop(), refq.pop());
+            }
+            assert!(refq.heap.is_empty());
+        });
+    }
+
+    /// Differential property: `pop_explored` with a shared random chooser
+    /// behaves identically on both implementations, including the stray
+    /// re-push paths.
+    #[test]
+    fn differential_random_pop_explored_matches_reference() {
+        crate::check::cases(40, 0xE0E0_57AC, |rng| {
+            let mut cal: EventQueue<u32> = EventQueue::new();
+            let mut refq: RefQueue<u32> = RefQueue::new();
+            let mut next_payload = 0u32;
+            // Both sides must see the same choice sequence.
+            let picks: Vec<usize> =
+                (0..200).map(|_| rng.gen_range(0, 6) as usize).collect();
+            let mut c1 = Fixed(picks.clone(), 0);
+            let mut c2 = Fixed(picks, 0);
+            for _ in 0..300 {
+                let action = rng.gen_range(0, 4);
+                if action < 2 || cal.is_empty() {
+                    let delta = match rng.gen_range(0, 3) {
+                        0 => rng.gen_range(0, 8),
+                        1 => 240 + rng.gen_range(0, 40),
+                        _ => rng.gen_range(0, 2_000),
+                    };
+                    let at = Cycle(cal.now().0 + delta);
+                    cal.push(at, next_payload);
+                    refq.push(at, next_payload);
+                    next_payload += 1;
+                } else if action == 2 {
+                    assert_eq!(cal.pop(), refq.pop());
+                } else {
+                    let horizon = Cycle(rng.gen_range(0, 400));
+                    let window = 1 + rng.gen_range(0, 4) as usize;
+                    assert_eq!(
+                        cal.pop_explored(&mut c1, horizon, window),
+                        refq.pop_explored(&mut c2, horizon, window)
+                    );
+                    assert_eq!(c1.1, c2.1, "choosers must be consulted identically");
+                }
+                assert_eq!(cal.len(), refq.heap.len());
+            }
+            while !cal.is_empty() {
+                assert_eq!(cal.pop(), refq.pop());
+            }
+        });
     }
 }

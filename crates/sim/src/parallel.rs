@@ -121,9 +121,16 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Upper bound on the *detected* default worker count. Experiment runs are
+/// short relative to per-thread spawn cost, so on very wide machines (or
+/// under a miscounting container runtime) an unclamped
+/// `available_parallelism` default oversubscribes for no throughput gain. An
+/// explicit `--jobs`/`LTSE_JOBS` request is honored as given.
+pub const MAX_DEFAULT_JOBS: usize = 64;
+
 /// Resolves the worker count: `explicit` if given, else the `LTSE_JOBS`
-/// environment variable, else [`std::thread::available_parallelism`].
-/// Always at least 1.
+/// environment variable, else [`std::thread::available_parallelism`] clamped
+/// to [`MAX_DEFAULT_JOBS`]. Always at least 1.
 pub fn effective_jobs(explicit: Option<usize>) -> usize {
     explicit
         .or_else(|| {
@@ -133,7 +140,7 @@ pub fn effective_jobs(explicit: Option<usize>) -> usize {
         })
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
-                .map(|n| n.get())
+                .map(|n| n.get().min(MAX_DEFAULT_JOBS))
                 .unwrap_or(1)
         })
         .max(1)
@@ -282,12 +289,15 @@ mod tests {
 
     #[test]
     fn effective_jobs_priority() {
-        // Explicit beats everything.
+        // Explicit beats everything and is honored as given — even above the
+        // default-path clamp.
         assert_eq!(effective_jobs(Some(3)), 3);
         assert_eq!(effective_jobs(Some(0)), 1, "clamped to at least 1");
-        // Fallback is at least 1 (env-var path is covered by the
-        // integration smoke in scripts/verify.sh; mutating the process
-        // environment from a unit test would race other tests).
-        assert!(effective_jobs(None) >= 1);
+        assert_eq!(effective_jobs(Some(MAX_DEFAULT_JOBS + 9)), MAX_DEFAULT_JOBS + 9);
+        // Fallback is within [1, MAX_DEFAULT_JOBS] (env-var path is covered
+        // by the integration smoke in scripts/verify.sh; mutating the
+        // process environment from a unit test would race other tests).
+        let detected = effective_jobs(None);
+        assert!((1..=MAX_DEFAULT_JOBS).contains(&detected));
     }
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Run the hot-path micro-benchmark suite and serialize the results to
+# BENCH_hotpath.json at the repo root.
+#
+# Usage:
+#   scripts/bench.sh                 # full run (~1-2 min), overwrites BENCH_hotpath.json
+#   LTSE_BENCH_QUICK=1 scripts/bench.sh   # CI smoke: tiny workloads, same JSON shape
+#   LTSE_BENCH_JSON=out.json scripts/bench.sh   # write elsewhere
+#
+# The JSON carries baseline AND optimized timings for each hot path plus the
+# derived speedups, so numbers are comparable across PRs: commit the file
+# after a full run on a quiet machine and diff the "speedups" object.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${LTSE_BENCH_JSON:-BENCH_hotpath.json}"
+# cargo runs benches with the package directory as cwd; anchor relative
+# paths to the repo root.
+case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
+
+LTSE_BENCH_JSON="$out" cargo bench --bench hotpath
+
+echo "bench results written to $out"

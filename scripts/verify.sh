@@ -19,10 +19,31 @@ LTSE_EXPLORE_SCHEDULES=300 cargo test -q --release --test integration_explore
 t_exp1=$(date +%s%N)
 echo "ok: exploration smoke in $(( (t_exp1 - t_exp0) / 1000000 )) ms"
 
+echo "== bench smoke: hotpath suite in quick mode =="
+# Asserts the suite runs and emits valid JSON with the expected shape; no
+# timing thresholds — CI machines are too noisy for that.
+bench_json=$(mktemp)
+trap 'rm -f "$bench_json"' EXIT
+LTSE_BENCH_QUICK=1 LTSE_BENCH_JSON="$bench_json" scripts/bench.sh 2>&1 | tail -5
+python3 - "$bench_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "hotpath", doc
+assert doc["quick"] is True, "smoke must run in quick mode"
+assert len(doc["cases"]) >= 7, f"expected >=7 cases, got {len(doc['cases'])}"
+for c in doc["cases"]:
+    assert c["best_ms"] > 0 and c["mean_ms"] >= c["best_ms"], c
+assert set(doc["speedups"]) == {
+    "sig_membership_bitselect", "sig_membership_bloom", "event_queue_churn",
+}, doc["speedups"]
+print("ok: BENCH json well-formed,", len(doc["cases"]), "cases")
+EOF
+
 echo "== determinism smoke: repro --quick, 1 vs. 4 workers =="
 repro=target/release/repro
 out1=$(mktemp) out4=$(mktemp)
-trap 'rm -f "$out1" "$out4"' EXIT
+trap 'rm -f "$out1" "$out4" "$bench_json"' EXIT
 
 t_start=$(date +%s%N)
 "$repro" --quick --jobs 1 all >"$out1" 2>/dev/null
