@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--csv] [--jobs N] <subcommand>
+//! repro [--quick] [--csv] [--jobs N] [--cache-dir DIR] [--no-cache] <subcommand>
 //!
 //! Subcommands:
 //!   table1         System model parameters (paper Table 1)
@@ -35,6 +35,13 @@
 //! nondeterministic) go to stderr; a run that panics or errors is reported
 //! per label on stderr and flips the exit code to 1 without killing the
 //! other runs of the sweep.
+//!
+//! `--cache-dir DIR` (or the `LTSE_CACHE` environment variable) enables the
+//! persistent run cache: repeated sweeps with identical inputs are served
+//! from disk instead of re-simulated, and `[timing]` lines report
+//! hit/miss/stale traffic. `--no-cache` disables caching even when
+//! `LTSE_CACHE` is set. Caching never changes stdout — only how fast it is
+//! produced.
 
 use logtm_se::{MemConfig, SystemBuilder};
 use ltse_bench::experiments::ExperimentScale;
@@ -97,6 +104,24 @@ fn report_timings() {
     }
 }
 
+/// Accepts `--cache-dir DIR` and `--cache-dir=DIR`. Returns the directory,
+/// if the flag was given.
+fn parse_cache_dir(args: &[String]) -> Option<String> {
+    let bad = || -> ! {
+        eprintln!("error: --cache-dir requires a directory path");
+        std::process::exit(2);
+    };
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--cache-dir=") {
+            return Some(v.to_string());
+        }
+        if a == "--cache-dir" {
+            return Some(args.get(i + 1).cloned().unwrap_or_else(|| bad()));
+        }
+    }
+    None
+}
+
 fn parse_jobs(args: &[String]) -> Option<usize> {
     // Accept `--jobs N` and `--jobs=N`. A missing or non-numeric value is a
     // usage error, not something to silently ignore.
@@ -122,6 +147,14 @@ fn main() {
     let csv = args.iter().any(|a| a == "--csv");
     let jobs = parse_jobs(&args);
     runner::set_jobs(jobs);
+    if args.iter().any(|a| a == "--no-cache") {
+        ltse_bench::cache::disable_cache();
+    } else if let Some(dir) = parse_cache_dir(&args) {
+        if let Err(e) = ltse_bench::cache::set_cache_dir(&dir) {
+            eprintln!("error: cannot open cache dir `{dir}`: {e}");
+            std::process::exit(2);
+        }
+    }
     let scale = if quick {
         ExperimentScale::quick()
     } else {
@@ -135,7 +168,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--jobs" {
+            if *a == "--jobs" || *a == "--cache-dir" {
                 skip_next = true;
             }
             !a.starts_with("--") && !skip_next
@@ -207,6 +240,15 @@ fn main() {
         }
     } else {
         all_ok = run_one(cmd);
+    }
+    if let Some(cache) = ltse_bench::cache::active_cache() {
+        let gc = cache.gc();
+        if gc.evicted > 0 {
+            eprintln!(
+                "[cache] gc: evicted {} of {} entries ({} bytes freed)",
+                gc.evicted, gc.entries, gc.bytes_evicted
+            );
+        }
     }
     if !all_ok {
         std::process::exit(1);

@@ -1,0 +1,554 @@
+//! Experiment-side wiring for the content-addressed run cache.
+//!
+//! Every experiment run is a pure function of its fingerprinted inputs
+//! (workload spec, machine knobs, seed), so its result row can be stored
+//! under that fingerprint in an [`ltse_sim::cache::RunCache`] and served
+//! back on the next invocation instead of re-simulating. This module owns:
+//!
+//! * the process-wide cache handle ([`set_cache_dir`] / [`disable_cache`] /
+//!   [`active_cache`]), resolved from `repro --cache-dir`, the `LTSE_CACHE`
+//!   environment variable, or `--no-cache` — with **disabled** as the
+//!   default so uncached behaviour (including stdout and stderr) is exactly
+//!   the pre-cache pipeline;
+//! * the fingerprint helpers ([`run_fp`], [`fp_params`]) that fold in
+//!   [`CACHE_SCHEMA`] so any experiment-code change can invalidate every
+//!   entry with one constant bump;
+//! * [`CacheValue`] codecs for each experiment's row type.
+//!
+//! Correctness stance: a cache hit must be byte-identical to what the run
+//! would have computed. Anything less than a perfect decode — unknown
+//! labels, truncated payloads, schema drift — returns `None` and the run is
+//! recomputed; the cache can serve wrong *performance*, never wrong
+//! *results*.
+
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use logtm_se::Cycle;
+use ltse_sim::cache::{ByteReader, CacheValue, FpHash, FpHasher, Fingerprint, RunCache};
+use ltse_workloads::RunParams;
+
+use crate::experiments::{
+    ExperimentScale, LogFilterRow, MultiCmpRow, NestingRow, PolicyRow, SmtRow, SnoopRow,
+    StickyRow, Table2Row, Table3Row, VictimRow, VirtRow,
+};
+
+/// Experiment-schema tag folded into every fingerprint. Bump whenever
+/// experiment code changes in a way that alters results without changing
+/// any fingerprinted input (new statistics, tweaked synthetic programs,
+/// simulator behaviour changes): every prior cache entry then misses and is
+/// recomputed.
+pub const CACHE_SCHEMA: u32 = 1;
+
+enum State {
+    /// No explicit choice yet; first use consults `LTSE_CACHE`.
+    Unresolved,
+    Disabled,
+    Enabled(Arc<RunCache>),
+}
+
+static STATE: Mutex<State> = Mutex::new(State::Unresolved);
+
+/// Enables caching into `dir` (creating it if needed) for every subsequent
+/// sweep. The `repro --cache-dir DIR` flag lands here.
+pub fn set_cache_dir(dir: impl AsRef<Path>) -> io::Result<()> {
+    let cache = RunCache::open(dir.as_ref())?;
+    *STATE.lock().expect("cache state lock") = State::Enabled(Arc::new(cache));
+    Ok(())
+}
+
+/// Disables caching for every subsequent sweep, overriding `LTSE_CACHE`.
+/// The `repro --no-cache` flag lands here.
+pub fn disable_cache() {
+    *STATE.lock().expect("cache state lock") = State::Disabled;
+}
+
+/// The cache sweeps currently write through, if any. On first use with no
+/// explicit choice, a non-empty `LTSE_CACHE` environment variable enables
+/// caching into that directory; otherwise caching stays off (the pre-cache
+/// pipeline, byte-identical output included). An unopenable directory
+/// disables caching with a warning rather than failing the run.
+pub fn active_cache() -> Option<Arc<RunCache>> {
+    let mut state = STATE.lock().expect("cache state lock");
+    if let State::Unresolved = *state {
+        *state = match std::env::var("LTSE_CACHE") {
+            Ok(dir) if !dir.trim().is_empty() => match RunCache::open(dir.trim()) {
+                Ok(cache) => State::Enabled(Arc::new(cache)),
+                Err(e) => {
+                    eprintln!("warning: LTSE_CACHE={dir} unusable ({e}); caching disabled");
+                    State::Disabled
+                }
+            },
+            _ => State::Disabled,
+        };
+    }
+    match &*state {
+        State::Enabled(cache) => Some(Arc::clone(cache)),
+        _ => None,
+    }
+}
+
+/// A fingerprint builder pre-seeded with the cache domain, [`CACHE_SCHEMA`],
+/// and the experiment name. Experiments feed their remaining inputs and
+/// [`FpHasher::finish`].
+pub fn run_fp(experiment: &str) -> FpHasher {
+    let mut h = FpHasher::new("ltse-run");
+    h.write_u64(CACHE_SCHEMA as u64);
+    h.write_str(experiment);
+    h
+}
+
+/// The fingerprint of a [`run_benchmark`](ltse_workloads::run_benchmark)
+/// invocation: every [`RunParams`] field participates.
+pub fn fp_params(experiment: &str, p: &RunParams) -> Fingerprint {
+    run_fp(experiment).feed(p).finish()
+}
+
+impl FpHash for ExperimentScale {
+    fn fp_feed(&self, h: &mut FpHasher) {
+        h.write_u64(self.threads as u64);
+        h.write_u64(self.units_per_thread);
+        h.write_u64(self.seeds as u64);
+        h.write_u64(self.base_seed);
+        h.write_u64(self.warmup_units);
+    }
+}
+
+/// Decodes a string that must be one of the known `&'static str` labels a
+/// row type stores. An unknown label (e.g. after a rename without a schema
+/// bump) fails the decode, forcing a recompute.
+fn decode_static(r: &mut ByteReader<'_>, known: &[&'static str]) -> Option<&'static str> {
+    let s = String::decode(r)?;
+    known.iter().copied().find(|k| *k == s)
+}
+
+impl CacheValue for PolicyRow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.benchmark.encode(out);
+        self.policy.encode(out);
+        self.cycles.encode(out);
+        self.aborts.encode(out);
+        self.stalls.encode(out);
+        self.wasted_cycles.encode(out);
+        self.completed.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(PolicyRow {
+            benchmark: CacheValue::decode(r)?,
+            policy: CacheValue::decode(r)?,
+            cycles: Cycle::decode(r)?,
+            aborts: u64::decode(r)?,
+            stalls: u64::decode(r)?,
+            wasted_cycles: u64::decode(r)?,
+            completed: bool::decode(r)?,
+        })
+    }
+}
+
+impl CacheValue for SmtRow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.benchmark.encode(out);
+        self.machine.to_string().encode(out);
+        self.cycles.encode(out);
+        self.sibling_stalls.encode(out);
+        self.stalls.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(SmtRow {
+            benchmark: CacheValue::decode(r)?,
+            machine: decode_static(r, &["16x2 SMT", "32x1"])?,
+            cycles: Cycle::decode(r)?,
+            sibling_stalls: u64::decode(r)?,
+            stalls: u64::decode(r)?,
+        })
+    }
+}
+
+impl CacheValue for NestingRow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.shape.to_string().encode(out);
+        self.cycles.encode(out);
+        self.aborts.encode(out);
+        self.partial_aborts.encode(out);
+        self.wasted_cycles.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(NestingRow {
+            shape: decode_static(r, &["flat", "nested"])?,
+            cycles: Cycle::decode(r)?,
+            aborts: u64::decode(r)?,
+            partial_aborts: u64::decode(r)?,
+            wasted_cycles: u64::decode(r)?,
+        })
+    }
+}
+
+impl CacheValue for MultiCmpRow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.benchmark.encode(out);
+        self.chips.encode(out);
+        self.cycles.encode(out);
+        self.interchip_messages.encode(out);
+        self.messages.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(MultiCmpRow {
+            benchmark: CacheValue::decode(r)?,
+            chips: u8::decode(r)?,
+            cycles: Cycle::decode(r)?,
+            interchip_messages: u64::decode(r)?,
+            messages: u64::decode(r)?,
+        })
+    }
+}
+
+impl CacheValue for SnoopRow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.benchmark.encode(out);
+        self.coherence.encode(out);
+        self.signature.encode(out);
+        self.cycles.encode(out);
+        self.messages.encode(out);
+        self.false_positive_pct.encode(out);
+        self.stalls.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(SnoopRow {
+            benchmark: CacheValue::decode(r)?,
+            coherence: CacheValue::decode(r)?,
+            signature: CacheValue::decode(r)?,
+            cycles: Cycle::decode(r)?,
+            messages: u64::decode(r)?,
+            false_positive_pct: CacheValue::decode(r)?,
+            stalls: u64::decode(r)?,
+        })
+    }
+}
+
+impl CacheValue for Table2Row {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.benchmark.encode(out);
+        self.input.to_string().encode(out);
+        self.unit.to_string().encode(out);
+        self.units.encode(out);
+        self.transactions.encode(out);
+        self.read_avg.encode(out);
+        self.read_max.encode(out);
+        self.read_p95.encode(out);
+        self.write_avg.encode(out);
+        self.write_max.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let benchmark: ltse_workloads::Benchmark = CacheValue::decode(r)?;
+        // `input`/`unit` are derived labels; the stored strings must match
+        // what the current code derives, or the entry predates a label
+        // change and must be recomputed.
+        let input = decode_static(r, &[benchmark.input_label()])?;
+        let unit = decode_static(r, &[benchmark.unit_label()])?;
+        Some(Table2Row {
+            benchmark,
+            input,
+            unit,
+            units: u64::decode(r)?,
+            transactions: u64::decode(r)?,
+            read_avg: f64::decode(r)?,
+            read_max: u64::decode(r)?,
+            read_p95: u64::decode(r)?,
+            write_avg: f64::decode(r)?,
+            write_max: u64::decode(r)?,
+        })
+    }
+}
+
+impl CacheValue for Table3Row {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.benchmark.encode(out);
+        self.signature.encode(out);
+        self.transactions.encode(out);
+        self.aborts.encode(out);
+        self.stalls.encode(out);
+        self.false_positive_pct.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(Table3Row {
+            benchmark: CacheValue::decode(r)?,
+            signature: CacheValue::decode(r)?,
+            transactions: u64::decode(r)?,
+            aborts: u64::decode(r)?,
+            stalls: u64::decode(r)?,
+            false_positive_pct: CacheValue::decode(r)?,
+        })
+    }
+}
+
+impl CacheValue for VictimRow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.benchmark.encode(out);
+        self.transactions.encode(out);
+        self.victimizations.encode(out);
+        self.broadcasts.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(VictimRow {
+            benchmark: CacheValue::decode(r)?,
+            transactions: u64::decode(r)?,
+            victimizations: u64::decode(r)?,
+            broadcasts: u64::decode(r)?,
+        })
+    }
+}
+
+impl CacheValue for StickyRow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.workload.encode(out);
+        self.sticky.encode(out);
+        self.cycles.encode(out);
+        self.aborts.encode(out);
+        self.victimizations.encode(out);
+        self.completed.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(StickyRow {
+            workload: String::decode(r)?,
+            sticky: bool::decode(r)?,
+            cycles: Cycle::decode(r)?,
+            aborts: u64::decode(r)?,
+            victimizations: u64::decode(r)?,
+            completed: bool::decode(r)?,
+        })
+    }
+}
+
+impl CacheValue for LogFilterRow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.entries.encode(out);
+        self.log_writes.encode(out);
+        self.suppressed.encode(out);
+        self.cycles.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(LogFilterRow {
+            entries: usize::decode(r)?,
+            log_writes: u64::decode(r)?,
+            suppressed: u64::decode(r)?,
+            cycles: Cycle::decode(r)?,
+        })
+    }
+}
+
+impl CacheValue for VirtRow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.quantum.encode(out);
+        self.defer_in_tx.encode(out);
+        self.cycles.encode(out);
+        self.units.encode(out);
+        self.tx_deschedules.encode(out);
+        self.summary_installs.encode(out);
+        self.aborts.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(VirtRow {
+            quantum: CacheValue::decode(r)?,
+            defer_in_tx: bool::decode(r)?,
+            cycles: Cycle::decode(r)?,
+            units: u64::decode(r)?,
+            tx_deschedules: u64::decode(r)?,
+            summary_installs: u64::decode(r)?,
+            aborts: u64::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logtm_se::{CoherenceKind, ContentionPolicy, SignatureKind};
+    use ltse_workloads::{Benchmark, SyncMode};
+
+    fn round_trip<T: CacheValue + std::fmt::Debug>(v: &T) -> T {
+        T::from_cache_bytes(&v.to_cache_bytes()).expect("round trip")
+    }
+
+    #[test]
+    fn every_row_type_round_trips() {
+        let p = round_trip(&PolicyRow {
+            benchmark: Benchmark::Raytrace,
+            policy: ContentionPolicy::SizeMatters,
+            cycles: Cycle(123_456),
+            aborts: 7,
+            stalls: 8,
+            wasted_cycles: 9,
+            completed: false,
+        });
+        assert_eq!(p.benchmark, Benchmark::Raytrace);
+        assert_eq!(p.policy, ContentionPolicy::SizeMatters);
+        assert!(!p.completed);
+
+        let s = round_trip(&SmtRow {
+            benchmark: Benchmark::Mp3d,
+            machine: "16x2 SMT",
+            cycles: Cycle(42),
+            sibling_stalls: 1,
+            stalls: 2,
+        });
+        assert_eq!(s.machine, "16x2 SMT");
+
+        let n = round_trip(&NestingRow {
+            shape: "nested",
+            cycles: Cycle(1),
+            aborts: 2,
+            partial_aborts: 3,
+            wasted_cycles: 4,
+        });
+        assert_eq!(n.shape, "nested");
+
+        let m = round_trip(&MultiCmpRow {
+            benchmark: Benchmark::BerkeleyDb,
+            chips: 4,
+            cycles: Cycle(5),
+            interchip_messages: 6,
+            messages: 7,
+        });
+        assert_eq!(m.chips, 4);
+
+        let sn = round_trip(&SnoopRow {
+            benchmark: Benchmark::Raytrace,
+            coherence: CoherenceKind::SnoopingMesi,
+            signature: SignatureKind::paper_bs_64(),
+            cycles: Cycle(9),
+            messages: 10,
+            false_positive_pct: Some(1.25),
+            stalls: 11,
+        });
+        assert_eq!(sn.coherence, CoherenceKind::SnoopingMesi);
+        assert_eq!(sn.false_positive_pct, Some(1.25));
+
+        let t2 = round_trip(&Table2Row {
+            benchmark: Benchmark::Cholesky,
+            input: Benchmark::Cholesky.input_label(),
+            unit: Benchmark::Cholesky.unit_label(),
+            units: 1,
+            transactions: 2,
+            read_avg: 3.5,
+            read_max: 4,
+            read_p95: 5,
+            write_avg: 6.5,
+            write_max: 7,
+        });
+        assert_eq!(t2.input, "tk14.O");
+
+        let t3 = round_trip(&Table3Row {
+            benchmark: Benchmark::BerkeleyDb,
+            signature: SignatureKind::paper_cbs_2kb(),
+            transactions: 1,
+            aborts: 2,
+            stalls: 3,
+            false_positive_pct: None,
+        });
+        assert_eq!(t3.signature, SignatureKind::paper_cbs_2kb());
+
+        round_trip(&VictimRow {
+            benchmark: Benchmark::Radiosity,
+            transactions: 1,
+            victimizations: 2,
+            broadcasts: 3,
+        });
+
+        let st = round_trip(&StickyRow {
+            workload: "overflow-micro".into(),
+            sticky: true,
+            cycles: Cycle(8),
+            aborts: 9,
+            victimizations: 10,
+            completed: true,
+        });
+        assert_eq!(st.workload, "overflow-micro");
+
+        round_trip(&LogFilterRow {
+            entries: 16,
+            log_writes: 1,
+            suppressed: 2,
+            cycles: Cycle(3),
+        });
+
+        let v = round_trip(&VirtRow {
+            quantum: Some(Cycle(20_000)),
+            defer_in_tx: true,
+            cycles: Cycle(1),
+            units: 2,
+            tx_deschedules: 3,
+            summary_installs: 4,
+            aborts: 5,
+        });
+        assert_eq!(v.quantum, Some(Cycle(20_000)));
+        let v2 = round_trip(&VirtRow {
+            quantum: None,
+            defer_in_tx: false,
+            cycles: Cycle(1),
+            units: 2,
+            tx_deschedules: 3,
+            summary_installs: 4,
+            aborts: 5,
+        });
+        assert_eq!(v2.quantum, None);
+    }
+
+    #[test]
+    fn unknown_static_label_fails_the_decode() {
+        let mut bytes = Vec::new();
+        SmtRow {
+            benchmark: Benchmark::Mp3d,
+            machine: "16x2 SMT",
+            cycles: Cycle(1),
+            sibling_stalls: 0,
+            stalls: 0,
+        }
+        .encode(&mut bytes);
+        // Corrupt the label: "16x2 SMT" -> "16x2 SMX".
+        let pos = bytes
+            .windows(3)
+            .position(|w| w == b"SMT")
+            .expect("label present");
+        bytes[pos + 2] = b'X';
+        assert!(SmtRow::from_cache_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn fingerprints_cover_schema_experiment_and_params() {
+        let p = RunParams::paper(
+            Benchmark::Mp3d,
+            SyncMode::Tm,
+            SignatureKind::paper_bs_2kb(),
+        );
+        let base = fp_params("figure4", &p);
+        assert_eq!(base, fp_params("figure4", &p), "stable");
+        assert_ne!(base, fp_params("table3", &p), "experiment name matters");
+        let mut p2 = p;
+        p2.seed ^= 1;
+        assert_ne!(base, fp_params("figure4", &p2), "seed matters");
+        let mut p3 = p;
+        p3.sticky = false;
+        assert_ne!(base, fp_params("figure4", &p3), "config fields matter");
+    }
+
+    #[test]
+    fn scale_feeds_every_field() {
+        let a = ExperimentScale::quick();
+        let mut b = a;
+        b.warmup_units += 1;
+        let fp = |s: &ExperimentScale| run_fp("x").feed(s).finish();
+        assert_ne!(fp(&a), fp(&b));
+    }
+}

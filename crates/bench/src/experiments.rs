@@ -13,6 +13,7 @@ use ltse_sim::parallel::RunSpec;
 use ltse_sim::stats::SampleSet;
 use ltse_workloads::{run_benchmark, Benchmark, RunParams, SyncMode};
 
+use crate::cache::{fp_params, run_fp};
 use crate::runner::{sweep, sweep_ok, SweepError};
 
 /// How big each experiment runs: the trade-off between statistical quality
@@ -119,6 +120,13 @@ pub fn contention_policies(scale: &ExperimentScale) -> Result<Vec<PolicyRow>, Sw
             ContentionPolicy::RequesterAborts,
             ContentionPolicy::SizeMatters,
         ] {
+            let fp = run_fp("contention_policies")
+                .feed(&benchmark)
+                .feed(&policy)
+                .feed(&seed)
+                .feed(&scale.threads)
+                .feed(&scale.units_per_thread)
+                .finish();
             specs.push(RunSpec::new(
                 format!("contention/{benchmark}/{policy:?}"),
                 move || {
@@ -148,7 +156,7 @@ pub fn contention_policies(scale: &ExperimentScale) -> Result<Vec<PolicyRow>, Sw
                         completed,
                     }
                 },
-            ));
+            ).keyed(fp));
         }
     }
     sweep_ok("contention_policies", specs)
@@ -185,6 +193,15 @@ pub fn smt_comparison(scale: &ExperimentScale) -> Result<Vec<SmtRow>, SweepError
         for (machine, n_cores, smt, grid) in
             [("16x2 SMT", 16u8, 2u8, (4usize, 4usize)), ("32x1", 32, 1, (6, 6))]
         {
+            let fp = run_fp("smt_comparison")
+                .feed(&benchmark)
+                .feed(&n_cores)
+                .feed(&smt)
+                .feed(&grid.0)
+                .feed(&grid.1)
+                .feed(&seed)
+                .feed(&scale.units_per_thread)
+                .finish();
             specs.push(RunSpec::new(format!("smt/{benchmark}/{machine}"), move || {
                 let mut mem = logtm_se::MemConfig::paper_cmp();
                 mem.n_cores = n_cores;
@@ -207,7 +224,7 @@ pub fn smt_comparison(scale: &ExperimentScale) -> Result<Vec<SmtRow>, SweepError
                     sibling_stalls: r.tm.sibling_stalls,
                     stalls: r.tm.stalls,
                 })
-            }));
+            }).keyed(fp));
         }
     }
     sweep("smt_comparison", specs)
@@ -320,6 +337,12 @@ pub fn nesting_ablation(scale: &ExperimentScale) -> Result<Vec<NestingRow>, Swee
     let specs = [("flat", false), ("nested", true)]
         .into_iter()
         .map(|(shape, nested)| {
+            let fp = run_fp("nesting_ablation")
+                .feed(&nested)
+                .feed(&seed)
+                .feed(&scale.threads.min(16))
+                .feed(&scale.units_per_thread)
+                .finish();
             RunSpec::new(format!("nesting/{shape}"), move || {
                 let mut system = SystemBuilder::paper_default()
                     .signature(SignatureKind::paper_bs_2kb())
@@ -342,6 +365,7 @@ pub fn nesting_ablation(scale: &ExperimentScale) -> Result<Vec<NestingRow>, Swee
                     wasted_cycles: r.tm.wasted_cycles,
                 })
             })
+            .keyed(fp)
         })
         .collect();
     sweep("nesting_ablation", specs)
@@ -375,6 +399,13 @@ pub fn multi_cmp_comparison(scale: &ExperimentScale) -> Result<Vec<MultiCmpRow>,
     let mut specs = Vec::new();
     for benchmark in [Benchmark::Mp3d, Benchmark::BerkeleyDb] {
         for chips in [1u8, 2, 4] {
+            let fp = run_fp("multi_cmp_comparison")
+                .feed(&benchmark)
+                .feed(&chips)
+                .feed(&seed)
+                .feed(&scale.threads)
+                .feed(&scale.units_per_thread)
+                .finish();
             specs.push(RunSpec::new(
                 format!("multi_cmp/{benchmark}/chips={chips}"),
                 move || {
@@ -397,7 +428,7 @@ pub fn multi_cmp_comparison(scale: &ExperimentScale) -> Result<Vec<MultiCmpRow>,
                         messages: r.mem.messages.get(),
                     })
                 },
-            ));
+            ).keyed(fp));
         }
     }
     sweep("multi_cmp_comparison", specs)
@@ -440,6 +471,7 @@ pub fn snooping_comparison(scale: &ExperimentScale) -> Result<Vec<SnoopRow>, Swe
             for signature in [SignatureKind::paper_bs_2kb(), SignatureKind::paper_bs_64()] {
                 let mut p = params(&scale, benchmark, SyncMode::Tm, signature, seed);
                 p.coherence = coherence;
+                let fp = fp_params("snooping_comparison", &p);
                 specs.push(RunSpec::new(
                     format!("snooping/{benchmark}/{coherence}/{}", signature.label()),
                     move || {
@@ -454,7 +486,7 @@ pub fn snooping_comparison(scale: &ExperimentScale) -> Result<Vec<SnoopRow>, Swe
                             stalls: r.tm.stalls,
                         })
                     },
-                ));
+                ).keyed(fp));
             }
         }
     }
@@ -501,7 +533,7 @@ pub fn figure4(scale: &ExperimentScale) -> Result<Vec<Fig4Row>, SweepError> {
             specs.push(RunSpec::new(
                 format!("figure4/{benchmark}/lock/seed={s}"),
                 move || run_benchmark(&p).map(|r| r.throughput_per_kcycle()),
-            ));
+            ).keyed(fp_params("figure4", &p)));
         }
         for kind in SignatureKind::figure4_set() {
             for &s in &seeds {
@@ -509,7 +541,7 @@ pub fn figure4(scale: &ExperimentScale) -> Result<Vec<Fig4Row>, SweepError> {
                 specs.push(RunSpec::new(
                     format!("figure4/{benchmark}/tm/{}/seed={s}", kind.label()),
                     move || run_benchmark(&p).map(|r| r.throughput_per_kcycle()),
-                ));
+                ).keyed(fp_params("figure4", &p)));
             }
         }
     }
@@ -609,6 +641,7 @@ pub fn table2(scale: &ExperimentScale) -> Result<Vec<Table2Row>, SweepError> {
                     write_max: r.tm.write_set.max().unwrap_or(0),
                 })
             })
+            .keyed(fp_params("table2", &p))
         })
         .collect();
     sweep("table2", specs)
@@ -677,7 +710,7 @@ pub fn table3(scale: &ExperimentScale) -> Result<Vec<Table3Row>, SweepError> {
                         false_positive_pct: r.tm.false_positive_pct(),
                     })
                 },
-            ));
+            ).keyed(fp_params("table3", &p)));
         }
     }
     sweep("table3", specs)
@@ -721,6 +754,7 @@ pub fn victimization(scale: &ExperimentScale) -> Result<Vec<VictimRow>, SweepErr
                     broadcasts: r.mem.lost_dir_broadcasts.get(),
                 })
             })
+            .keyed(fp_params("victimization", &p))
         })
         .collect();
     sweep("victimization", specs)
@@ -768,7 +802,7 @@ pub fn signature_sweep(scale: &ExperimentScale) -> Result<Vec<SweepRow>, SweepEr
         let p = params(&scale, benchmark, SyncMode::Lock, SignatureKind::Perfect, seed);
         specs.push(RunSpec::new(format!("sig_sweep/{benchmark}/lock"), move || {
             run_benchmark(&p).map(|r| (r.throughput_per_kcycle(), None, 0))
-        }));
+        }).keyed(fp_params("signature_sweep", &p)));
         for bits in [64usize, 128, 256, 512, 1024, 2048, 4096] {
             for signature in sweep_signatures(bits) {
                 let p = params(&scale, benchmark, SyncMode::Tm, signature, seed);
@@ -779,7 +813,7 @@ pub fn signature_sweep(scale: &ExperimentScale) -> Result<Vec<SweepRow>, SweepEr
                             (r.throughput_per_kcycle(), r.tm.false_positive_pct(), r.tm.aborts)
                         })
                     },
-                ));
+                ).keyed(fp_params("signature_sweep", &p)));
             }
         }
     }
@@ -851,6 +885,11 @@ pub fn sticky_ablation(scale: &ExperimentScale) -> Result<Vec<StickyRow>, SweepE
     // here by a 5M-cycle watchdog) — hitting the watchdog is the result,
     // not a failure.
     for sticky in [true, false] {
+        let fp = run_fp("sticky_ablation/overflow-micro")
+            .feed(&sticky)
+            .feed(&seed)
+            .feed(&scale.units_per_thread.max(4))
+            .finish();
         specs.push(RunSpec::new(
             format!("sticky/overflow-micro/sticky={sticky}"),
             move || {
@@ -888,13 +927,14 @@ pub fn sticky_ablation(scale: &ExperimentScale) -> Result<Vec<StickyRow>, SweepE
                     completed,
                 })
             },
-        ));
+        ).keyed(fp));
     }
 
     // Mp3d: tiny footprints — sticky should cost/buy nothing.
     for sticky in [true, false] {
         let mut p = params(&scale, Benchmark::Mp3d, SyncMode::Tm, SignatureKind::Perfect, seed);
         p.sticky = sticky;
+        let fp = fp_params("sticky_ablation", &p);
         specs.push(RunSpec::new(format!("sticky/mp3d/sticky={sticky}"), move || {
             let r = run_benchmark(&p)?;
             Ok(StickyRow {
@@ -905,7 +945,7 @@ pub fn sticky_ablation(scale: &ExperimentScale) -> Result<Vec<StickyRow>, SweepE
                 victimizations: r.mem.tx_victimizations_exact(),
                 completed: true,
             })
-        }));
+        }).keyed(fp));
     }
     sweep("sticky_ablation", specs)
 }
@@ -936,6 +976,12 @@ pub fn log_filter_ablation(scale: &ExperimentScale) -> Result<Vec<LogFilterRow>,
     let specs = [0usize, 1, 2, 4, 8, 16, 32, 64]
         .into_iter()
         .map(|entries| {
+            let fp = run_fp("log_filter_ablation")
+                .feed(&entries)
+                .feed(&seed)
+                .feed(&scale.threads)
+                .feed(&scale.units_per_thread)
+                .finish();
             RunSpec::new(format!("log_filter/entries={entries}"), move || {
                 let mut system = SystemBuilder::paper_default()
                     .signature(SignatureKind::Perfect)
@@ -963,6 +1009,7 @@ pub fn log_filter_ablation(scale: &ExperimentScale) -> Result<Vec<LogFilterRow>,
                     cycles: r.cycles,
                 })
             })
+            .keyed(fp)
         })
         .collect();
     sweep("log_filter_ablation", specs)
@@ -1033,15 +1080,30 @@ pub fn virtualization_overhead(scale: &ExperimentScale) -> Result<Vec<VirtRow>, 
 
     // Baseline: exactly as many threads as contexts, no preemption; same
     // total units as the oversubscribed runs do per thread.
+    let fp_virt = move |threads: u32, preemption: Option<(Cycle, bool)>| {
+        let mut h = run_fp("virtualization_overhead");
+        h.write_u64(threads as u64);
+        match preemption {
+            None => h.write_u64(0),
+            Some((q, defer)) => {
+                h.write_u64(1);
+                h.write_u64(q.as_u64());
+                h.write_u64(defer as u64);
+            }
+        }
+        h.feed(&seed).feed(&scale.units_per_thread).finish()
+    };
+
     let mut specs = vec![RunSpec::new("virtualization/baseline", move || {
         run_with(n_ctxs, None).map(|r| row_from(r, None, false))
-    })];
+    })
+    .keyed(fp_virt(n_ctxs, None))];
     for quantum in [Cycle(20_000), Cycle(5_000)] {
         for defer in [true, false] {
             specs.push(RunSpec::new(
                 format!("virtualization/q={}/defer={defer}", quantum.as_u64()),
                 move || run_with(threads, Some((quantum, defer))).map(|r| row_from(r, Some(quantum), defer)),
-            ));
+            ).keyed(fp_virt(threads, Some((quantum, defer)))));
         }
     }
     sweep("virtualization_overhead", specs)

@@ -1,0 +1,213 @@
+//! End-to-end tests of the persistent run cache: warm sweeps are served
+//! from disk and render byte-identically, any input change invalidates the
+//! fingerprint, and damaged cache entries silently fall back to recompute.
+//!
+//! The cache (and the timing registry it reports through) is process-global
+//! state, so every test that enables it serializes on [`GUARD`] and
+//! disables the cache before releasing it.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ltse_bench::cache::{disable_cache, fp_params, run_fp, set_cache_dir};
+use ltse_bench::experiments::ExperimentScale;
+use ltse_bench::render;
+use ltse_bench::runner::{self, sweep_ok};
+use ltse_bench::table2;
+use ltse_sim::cache::Fingerprint;
+use ltse_sim::parallel::RunSpec;
+use ltse_sig::SignatureKind;
+use ltse_workloads::{Benchmark, RunParams, SyncMode};
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    let g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    runner::take_timings(); // the registry is global too: start clean
+    g
+}
+
+fn tmp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ltse-cache-itest-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Counts how many cache-traffic events the most recent sweeps recorded.
+fn drain_counts() -> (u64, u64, u64) {
+    let mut hits = 0;
+    let mut misses = 0;
+    let mut stale = 0;
+    for t in runner::take_timings() {
+        hits += t.cache.hits;
+        misses += t.cache.misses;
+        stale += t.cache.stale;
+    }
+    (hits, misses, stale)
+}
+
+/// A keyed sweep whose jobs bump `ran` on every real execution, so tests
+/// can tell a recompute from a cache hit regardless of timing.
+fn counting_sweep(keys: &[Fingerprint], ran: &'static AtomicUsize) -> Vec<u64> {
+    let specs = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &fp)| {
+            RunSpec::new(format!("count/{i}"), move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+                (i as u64) * 31 + 7
+            })
+            .keyed(fp)
+        })
+        .collect();
+    sweep_ok("cache_itest", specs).expect("no panics")
+}
+
+#[test]
+fn warm_sweep_is_served_from_cache_and_renders_identically() {
+    let _g = lock();
+    let dir = tmp_cache("warm");
+    set_cache_dir(&dir).expect("open cache dir");
+    let scale = ExperimentScale::quick();
+
+    let cold = table2(&scale).expect("cold table2");
+    let (hits, misses, _) = drain_counts();
+    assert_eq!(hits, 0, "a fresh cache directory cannot hit");
+    assert_eq!(misses as usize, cold.len());
+
+    let warm = table2(&scale).expect("warm table2");
+    let (hits, misses, stale) = drain_counts();
+    assert_eq!((misses, stale), (0, 0), "warm run must not recompute");
+    assert_eq!(hits as usize, warm.len());
+    assert_eq!(
+        render::render_table2(&cold),
+        render::render_table2(&warm),
+        "cached rows must render byte-identically"
+    );
+
+    disable_cache();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn any_input_change_forces_a_recompute() {
+    let _g = lock();
+    static RAN: AtomicUsize = AtomicUsize::new(0);
+    let dir = tmp_cache("invalidate");
+    set_cache_dir(&dir).expect("open cache dir");
+
+    let params = |seed: u64, small: bool| {
+        let mut p = RunParams::paper(
+            Benchmark::Mp3d,
+            SyncMode::Tm,
+            SignatureKind::paper_bs_2kb(),
+        );
+        p.seed = seed;
+        p.small_machine = small;
+        p
+    };
+    let keys = |seed, small| vec![fp_params("itest", &params(seed, small))];
+
+    let base = counting_sweep(&keys(1, false), &RAN);
+    assert_eq!(RAN.load(Ordering::Relaxed), 1);
+    // Same inputs: a hit, and the identical value back.
+    assert_eq!(counting_sweep(&keys(1, false), &RAN), base);
+    assert_eq!(RAN.load(Ordering::Relaxed), 1, "unchanged inputs must hit");
+    // A different seed, a different config field, a different experiment
+    // name: each changes the fingerprint and forces a real run.
+    counting_sweep(&keys(2, false), &RAN);
+    assert_eq!(RAN.load(Ordering::Relaxed), 2, "seed must invalidate");
+    counting_sweep(&keys(1, true), &RAN);
+    assert_eq!(RAN.load(Ordering::Relaxed), 3, "config field must invalidate");
+    counting_sweep(&[fp_params("itest-b", &params(1, false))], &RAN);
+    assert_eq!(RAN.load(Ordering::Relaxed), 4, "experiment name must invalidate");
+    drain_counts();
+
+    disable_cache();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaged_cache_entries_recompute_without_error() {
+    let _g = lock();
+    static RAN: AtomicUsize = AtomicUsize::new(0);
+    let dir = tmp_cache("damage");
+    set_cache_dir(&dir).expect("open cache dir");
+
+    let keys: Vec<Fingerprint> = (0..3u64)
+        .map(|i| run_fp("itest-damage").feed(&i).finish())
+        .collect();
+    let base = counting_sweep(&keys, &RAN);
+    assert_eq!(RAN.load(Ordering::Relaxed), 3);
+    drain_counts();
+
+    // Damage all three stored entries, each differently: truncate one,
+    // overwrite one with garbage, and flip the container version of the
+    // third (a simulated on-disk schema bump).
+    let mut files: Vec<PathBuf> = walk_runs(&dir);
+    files.sort();
+    assert_eq!(files.len(), 3, "every run must have been stored");
+    let bytes = std::fs::read(&files[0]).unwrap();
+    std::fs::write(&files[0], &bytes[..bytes.len() / 2]).unwrap();
+    std::fs::write(&files[1], b"not a cache entry at all").unwrap();
+    let mut bytes = std::fs::read(&files[2]).unwrap();
+    bytes[8] ^= 0xFF; // the format-version word follows the 8-byte magic
+    std::fs::write(&files[2], bytes).unwrap();
+
+    let again = counting_sweep(&keys, &RAN);
+    assert_eq!(again, base, "recomputed values must match the originals");
+    assert_eq!(RAN.load(Ordering::Relaxed), 6, "every damaged entry must recompute");
+    let (hits, _, stale) = drain_counts();
+    assert_eq!(hits, 0);
+    assert_eq!(stale, 3, "damage must be reported as stale, not as an error");
+
+    // The recompute repaired the store: a third sweep is all hits.
+    assert_eq!(counting_sweep(&keys, &RAN), base);
+    assert_eq!(RAN.load(Ordering::Relaxed), 6);
+
+    disable_cache();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fingerprint separation needs no cache directory at all — it is a pure
+/// function of schema tag, experiment name, and every `RunParams` field.
+#[test]
+fn fingerprints_separate_seeds_fields_and_experiments() {
+    let base = RunParams::paper(
+        Benchmark::Raytrace,
+        SyncMode::Tm,
+        SignatureKind::paper_bs_2kb(),
+    );
+    let fp = |p: &RunParams| fp_params("sep", p);
+    let mut seen = vec![fp(&base)];
+    let mut check = |p: RunParams, what: &str| {
+        let f = fp(&p);
+        assert!(!seen.contains(&f), "{what} did not change the fingerprint");
+        seen.push(f);
+    };
+    check(RunParams { seed: base.seed + 1, ..base }, "seed");
+    check(RunParams { threads: base.threads + 1, ..base }, "threads");
+    check(RunParams { sticky: !base.sticky, ..base }, "sticky");
+    check(RunParams { mode: SyncMode::Lock, ..base }, "sync mode");
+    check(
+        RunParams { signature: SignatureKind::Perfect, ..base },
+        "signature kind",
+    );
+    assert_ne!(fp_params("sep", &base), fp_params("sep2", &base), "experiment name");
+}
+
+fn walk_runs(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for sub in std::fs::read_dir(dir).unwrap().flatten() {
+        if !sub.path().is_dir() {
+            continue;
+        }
+        for f in std::fs::read_dir(sub.path()).unwrap().flatten() {
+            if f.path().extension().is_some_and(|e| e == "run") {
+                out.push(f.path());
+            }
+        }
+    }
+    out
+}

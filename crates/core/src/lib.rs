@@ -97,7 +97,9 @@ pub use ltse_mem::{
 };
 pub use ltse_mem::SerializabilityOracle;
 pub use ltse_sig::SignatureKind;
-pub use ltse_sim::explore::{explore, ExploreConfig, ExploreReport, Schedule, ScheduleChooser};
+pub use ltse_sim::explore::{
+    explore, explore_jobs, ExploreConfig, ExploreReport, Schedule, ScheduleChooser,
+};
 pub use ltse_sim::{config::SimLimits, Cycle, EventChooser};
 pub use ltse_tm::conflict::ContentionPolicy;
 pub use ltse_tm::{NestKind, TmConfig};

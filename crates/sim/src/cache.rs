@@ -1,0 +1,783 @@
+//! Content-addressed persistent cache for deterministic run results.
+//!
+//! Every simulation in this workspace is bit-reproducible from its inputs
+//! (workload spec + configuration + seed), which makes results
+//! *content-addressable*: hash the inputs, and the hash names the output
+//! forever. This module provides the three pieces the experiment pipeline
+//! needs to exploit that:
+//!
+//! * [`Fingerprint`] / [`FpHasher`] / [`FpHash`] — a stable, in-repo 128-bit
+//!   hash of run inputs. Stability matters: the fingerprint must not change
+//!   across processes, platforms, or compiler versions, so it is built on
+//!   the same [`mix64`] finalizer the simulator's RNGs use rather than
+//!   `std::hash` (whose output is explicitly unstable).
+//! * [`CacheValue`] — a hand-rolled, dependency-free binary codec
+//!   (little-endian, length-prefixed) for the row types sweeps produce.
+//!   Decoding is total: corrupt or truncated bytes return `None`, never
+//!   panic, so a damaged entry degrades to a recompute.
+//! * [`RunCache`] — the on-disk store: one file per fingerprint under a
+//!   2-hex-digit fan-out, atomic writes (temp file + rename), checksum and
+//!   header validation on read, and a size-bounded oldest-first GC.
+//!
+//! The cache is strictly best-effort: every I/O failure (unwritable
+//! directory, torn file, ENOSPC) is absorbed and reported as a miss or a
+//! stale entry. A run may always be recomputed; it may never be wrong.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rng::mix64;
+use crate::Cycle;
+
+/// Version of the on-disk *container* format (header layout, checksum).
+/// Distinct from any caller-level schema tag, which should be folded into
+/// the fingerprint itself: bumping this invalidates every entry at the file
+/// level, bumping a schema tag simply makes old entries unreachable.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of every cache file.
+const MAGIC: &[u8; 8] = b"LTSERUNC";
+
+/// Default size bound for [`RunCache::gc`]: 512 MiB.
+pub const DEFAULT_MAX_BYTES: u64 = 512 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------
+
+/// A 128-bit content address for one run's inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub [u64; 2]);
+
+impl Fingerprint {
+    /// 32-character lowercase hex form (the on-disk file name).
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Streaming two-lane hasher producing a [`Fingerprint`].
+///
+/// Inputs are framed (strings and byte runs are length-prefixed) so that
+/// adjacent fields can never alias each other's bytes — `("ab", "c")` and
+/// `("a", "bc")` hash differently.
+#[derive(Debug, Clone)]
+pub struct FpHasher {
+    a: u64,
+    b: u64,
+}
+
+impl FpHasher {
+    /// A hasher seeded from a domain-separation string.
+    pub fn new(domain: &str) -> Self {
+        let mut h = FpHasher {
+            a: 0x243F_6A88_85A3_08D3, // pi digits: arbitrary fixed seeds
+            b: 0x1319_8A2E_0370_7344,
+        };
+        h.write_str(domain);
+        h
+    }
+
+    /// Absorbs one 64-bit word.
+    pub fn write_u64(&mut self, v: u64) {
+        self.a = mix64(self.a ^ v);
+        self.b = mix64(self.b.rotate_left(29) ^ v ^ 0x9E37_79B9_7F4A_7C15);
+    }
+
+    /// Absorbs a length-prefixed byte run.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorbs any [`FpHash`] value; chainable.
+    pub fn feed<T: FpHash + ?Sized>(mut self, v: &T) -> Self {
+        v.fp_feed(&mut self);
+        self
+    }
+
+    /// Finalizes into the 128-bit fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint([mix64(self.a ^ self.b.rotate_left(17)), mix64(self.b ^ self.a.rotate_left(43))])
+    }
+}
+
+/// Values that can be folded into a [`FpHasher`]. Implemented by every
+/// configuration type that participates in run fingerprints.
+pub trait FpHash {
+    /// Feeds this value's identity into the hasher.
+    fn fp_feed(&self, h: &mut FpHasher);
+}
+
+macro_rules! fp_hash_as_u64 {
+    ($($t:ty),*) => {$(
+        impl FpHash for $t {
+            fn fp_feed(&self, h: &mut FpHasher) {
+                h.write_u64(*self as u64);
+            }
+        }
+    )*};
+}
+fp_hash_as_u64!(u8, u16, u32, u64, usize, bool);
+
+impl FpHash for i64 {
+    fn fp_feed(&self, h: &mut FpHasher) {
+        h.write_u64(*self as u64);
+    }
+}
+
+impl FpHash for f64 {
+    fn fp_feed(&self, h: &mut FpHasher) {
+        h.write_u64(self.to_bits());
+    }
+}
+
+impl FpHash for str {
+    fn fp_feed(&self, h: &mut FpHasher) {
+        h.write_str(self);
+    }
+}
+
+impl FpHash for String {
+    fn fp_feed(&self, h: &mut FpHasher) {
+        h.write_str(self);
+    }
+}
+
+impl FpHash for Cycle {
+    fn fp_feed(&self, h: &mut FpHasher) {
+        h.write_u64(self.as_u64());
+    }
+}
+
+impl<T: FpHash> FpHash for Option<T> {
+    fn fp_feed(&self, h: &mut FpHasher) {
+        match self {
+            None => h.write_u64(0),
+            Some(v) => {
+                h.write_u64(1);
+                v.fp_feed(h);
+            }
+        }
+    }
+}
+
+impl<T: FpHash> FpHash for [T] {
+    fn fp_feed(&self, h: &mut FpHasher) {
+        h.write_u64(self.len() as u64);
+        for v in self {
+            v.fp_feed(h);
+        }
+    }
+}
+
+impl<T: FpHash> FpHash for Vec<T> {
+    fn fp_feed(&self, h: &mut FpHasher) {
+        self.as_slice().fp_feed(h);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------
+
+/// Bounds-checked cursor over cached bytes. All reads return `None` past
+/// the end instead of panicking — truncation is an expected failure mode.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    /// Consumes one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    /// Consumes a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.bytes(4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Consumes a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.bytes(8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+/// Hand-rolled binary serialization for cacheable run results.
+///
+/// The format is little-endian and length-prefixed; `decode` must consume
+/// exactly what `encode` produced and return `None` on any mismatch. There
+/// are no backward-compatibility obligations — a schema change is handled
+/// by bumping the fingerprint schema tag, never by versioned decoding.
+pub trait CacheValue: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value, advancing the reader. `None` = corrupt/truncated.
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self>;
+
+    /// Encodes into a fresh buffer.
+    fn to_cache_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes from a full buffer; trailing garbage is a decode failure.
+    fn from_cache_bytes(buf: &[u8]) -> Option<Self> {
+        let mut r = ByteReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        (r.remaining() == 0).then_some(v)
+    }
+}
+
+macro_rules! cache_value_int {
+    ($($t:ty),*) => {$(
+        impl CacheValue for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&(*self as u64).to_le_bytes());
+            }
+            fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+                let v = r.u64()?;
+                <$t>::try_from(v).ok()
+            }
+        }
+    )*};
+}
+cache_value_int!(u8, u16, u32, u64, usize);
+
+impl CacheValue for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        r.u64().map(|v| v as i64)
+    }
+}
+
+impl CacheValue for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl CacheValue for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        r.u64().map(f64::from_bits)
+    }
+}
+
+impl CacheValue for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let len = r.u32()? as usize;
+        let bytes = r.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+impl CacheValue for Cycle {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_u64().encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        u64::decode(r).map(Cycle)
+    }
+}
+
+impl<T: CacheValue> CacheValue for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(None),
+            1 => T::decode(r).map(Some),
+            _ => None,
+        }
+    }
+}
+
+impl<T: CacheValue, E: CacheValue> CacheValue for Result<T, E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Ok(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Err(e) => {
+                out.push(1);
+                e.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => T::decode(r).map(Ok),
+            1 => E::decode(r).map(Err),
+            _ => None,
+        }
+    }
+}
+
+impl<T: CacheValue> CacheValue for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let len = r.u32()? as usize;
+        // A corrupt length must not cause an OOM allocation attempt.
+        if len > r.remaining() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Some(out)
+    }
+}
+
+impl<A: CacheValue, B: CacheValue> CacheValue for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: CacheValue, B: CacheValue, C: CacheValue> CacheValue for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-disk store
+// ---------------------------------------------------------------------
+
+/// Outcome of a cache probe.
+#[derive(Debug)]
+pub enum Lookup {
+    /// A validated entry: header, checksum, and fingerprint echo all match.
+    Hit(Vec<u8>),
+    /// No entry on disk.
+    Miss,
+    /// An entry exists but is corrupt, truncated, or from a different
+    /// container format — the caller must recompute (and may overwrite).
+    Stale,
+}
+
+/// Per-pool cache traffic counts, merged across workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounts {
+    /// Runs served from a validated cache entry.
+    pub hits: u64,
+    /// Runs recomputed because no entry existed.
+    pub misses: u64,
+    /// Runs recomputed because the entry failed validation or decode.
+    pub stale: u64,
+}
+
+impl CacheCounts {
+    /// Total cache-managed runs.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses + self.stale
+    }
+
+    /// Merges another worker's counts into this one.
+    pub fn merge(&mut self, other: &CacheCounts) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.stale += other.stale;
+    }
+}
+
+/// What a [`RunCache::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcStats {
+    /// Entries scanned.
+    pub entries: u64,
+    /// Bytes on disk before the pass.
+    pub bytes_before: u64,
+    /// Entries deleted (oldest first).
+    pub evicted: u64,
+    /// Bytes freed.
+    pub bytes_evicted: u64,
+}
+
+/// A content-addressed store of run results under one directory.
+///
+/// Concurrency: reads are lock-free; writes go through a unique temp file
+/// renamed into place, so concurrent writers of the same fingerprint race
+/// benignly (both wrote identical bytes — the results are deterministic).
+#[derive(Debug)]
+pub struct RunCache {
+    dir: PathBuf,
+    max_bytes: u64,
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut acc = 0xCAFE_F00D_D15E_A5E5u64 ^ payload.len() as u64;
+    for chunk in payload.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        acc = mix64(acc ^ u64::from_le_bytes(w));
+    }
+    acc
+}
+
+impl RunCache {
+    /// Opens (creating if needed) a cache rooted at `dir`. The GC size bound
+    /// comes from `LTSE_CACHE_MAX_MB` when set, else [`DEFAULT_MAX_BYTES`].
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<RunCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let max_bytes = std::env::var("LTSE_CACHE_MAX_MB")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(|mb| mb.saturating_mul(1024 * 1024))
+            .unwrap_or(DEFAULT_MAX_BYTES);
+        Ok(RunCache { dir, max_bytes })
+    }
+
+    /// Overrides the GC size bound (tests).
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, fp: Fingerprint) -> PathBuf {
+        let hex = fp.hex();
+        self.dir.join(&hex[..2]).join(format!("{}.run", &hex[2..]))
+    }
+
+    /// Probes the store for `fp`, validating the entry end to end.
+    pub fn load(&self, fp: Fingerprint) -> Lookup {
+        let bytes = match fs::read(self.path_for(fp)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Miss,
+            // Unreadable (permissions, I/O error): treat as damaged.
+            Err(_) => return Lookup::Stale,
+        };
+        let mut r = ByteReader::new(&bytes);
+        let ok = (|| {
+            if r.bytes(MAGIC.len())? != MAGIC {
+                return None;
+            }
+            if r.u32()? != CACHE_FORMAT_VERSION {
+                return None;
+            }
+            if (r.u64()?, r.u64()?) != (fp.0[0], fp.0[1]) {
+                return None;
+            }
+            let len = r.u32()? as usize;
+            let sum = r.u64()?;
+            let payload = r.bytes(len)?;
+            if r.remaining() != 0 || checksum(payload) != sum {
+                return None;
+            }
+            Some(payload.to_vec())
+        })();
+        match ok {
+            Some(payload) => Lookup::Hit(payload),
+            None => Lookup::Stale,
+        }
+    }
+
+    /// Stores `payload` under `fp`. Best-effort: all I/O errors are
+    /// swallowed — a failed store simply means a future miss.
+    pub fn store(&self, fp: Fingerprint, payload: &[u8]) {
+        let path = self.path_for(fp);
+        let Some(parent) = path.parent() else { return };
+        if fs::create_dir_all(parent).is_err() {
+            return;
+        }
+        let mut bytes = Vec::with_capacity(MAGIC.len() + 32 + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&CACHE_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&fp.0[0].to_le_bytes());
+        bytes.extend_from_slice(&fp.0[1].to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&checksum(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        // Unique temp name per (pid, fp): concurrent stores of *different*
+        // fingerprints never collide, and same-fingerprint stores write
+        // identical bytes, so the rename race is benign.
+        let tmp = parent.join(format!(".tmp-{}-{}", std::process::id(), fp.hex()));
+        if fs::write(&tmp, &bytes).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+        let _ = fs::remove_file(&tmp); // no-op when the rename succeeded
+    }
+
+    /// Deletes entries oldest-first (by modification time) until the store
+    /// fits the size bound. Unreadable metadata counts as oldest.
+    pub fn gc(&self) -> GcStats {
+        let mut entries: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+        let Ok(fanout) = fs::read_dir(&self.dir) else {
+            return GcStats::default();
+        };
+        for sub in fanout.flatten() {
+            let Ok(inner) = fs::read_dir(sub.path()) else { continue };
+            for f in inner.flatten() {
+                if f.path().extension().map_or(true, |e| e != "run") {
+                    continue;
+                }
+                let (mtime, len) = match f.metadata() {
+                    Ok(m) => (m.modified().unwrap_or(std::time::UNIX_EPOCH), m.len()),
+                    Err(_) => (std::time::UNIX_EPOCH, 0),
+                };
+                entries.push((mtime, len, f.path()));
+            }
+        }
+        let mut stats = GcStats {
+            entries: entries.len() as u64,
+            bytes_before: entries.iter().map(|(_, len, _)| len).sum(),
+            ..GcStats::default()
+        };
+        if stats.bytes_before <= self.max_bytes {
+            return stats;
+        }
+        entries.sort(); // oldest mtime first; path breaks ties
+        let mut live = stats.bytes_before;
+        for (_, len, path) in entries {
+            if live <= self.max_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                live -= len;
+                stats.evicted += 1;
+                stats.bytes_evicted += len;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ltse-cache-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_input_sensitive() {
+        let fp = |seed: u64| FpHasher::new("test").feed(&seed).feed("alpha").finish();
+        assert_eq!(fp(1), fp(1), "same inputs, same fingerprint");
+        assert_ne!(fp(1), fp(2), "seed must matter");
+        assert_ne!(
+            FpHasher::new("a").feed(&1u64).finish(),
+            FpHasher::new("b").feed(&1u64).finish(),
+            "domain must matter"
+        );
+        // Framing: adjacent strings must not alias.
+        assert_ne!(
+            FpHasher::new("t").feed("ab").feed("c").finish(),
+            FpHasher::new("t").feed("a").feed("bc").finish()
+        );
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let v = (
+            42u64,
+            Some("hello".to_string()),
+            vec![1u32, 2, 3],
+        );
+        let bytes = v.to_cache_bytes();
+        assert_eq!(<(u64, Option<String>, Vec<u32>)>::from_cache_bytes(&bytes), Some(v));
+
+        let r: Result<f64, String> = Err("watchdog".into());
+        assert_eq!(Result::<f64, String>::from_cache_bytes(&r.to_cache_bytes()), Some(r));
+        assert_eq!(Cycle::from_cache_bytes(&Cycle(7).to_cache_bytes()), Some(Cycle(7)));
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_trailing_garbage() {
+        let bytes = 1234u64.to_cache_bytes();
+        assert_eq!(u64::from_cache_bytes(&bytes[..7]), None, "truncated");
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_eq!(u64::from_cache_bytes(&longer), None, "trailing garbage");
+        // A corrupt Vec length must not be trusted.
+        let mut v = vec![0xFFu8; 4];
+        v.extend_from_slice(&[0; 4]);
+        assert_eq!(Vec::<u64>::from_cache_bytes(&v), None);
+    }
+
+    #[test]
+    fn store_load_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let cache = RunCache::open(&dir).expect("open");
+        let fp = FpHasher::new("t").feed(&7u64).finish();
+        assert!(matches!(cache.load(fp), Lookup::Miss));
+        cache.store(fp, b"payload bytes");
+        match cache.load(fp) {
+            Lookup::Hit(bytes) => assert_eq!(bytes, b"payload bytes"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_are_stale_not_errors() {
+        let dir = tmp_dir("corrupt");
+        let cache = RunCache::open(&dir).expect("open");
+        let fp = FpHasher::new("t").feed(&9u64).finish();
+        cache.store(fp, b"good data");
+        let path = cache.path_for(fp);
+
+        // Flip a payload byte: checksum mismatch.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(cache.load(fp), Lookup::Stale), "corrupt byte");
+
+        // Truncate mid-header.
+        fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(cache.load(fp), Lookup::Stale), "truncated");
+
+        // Empty file.
+        fs::write(&path, b"").unwrap();
+        assert!(matches!(cache.load(fp), Lookup::Stale), "empty");
+
+        // A wrong-fingerprint file (e.g. renamed by hand) must not be served.
+        let fp2 = FpHasher::new("t").feed(&10u64).finish();
+        cache.store(fp2, b"other");
+        fs::copy(cache.path_for(fp2), &path).unwrap();
+        assert!(matches!(cache.load(fp), Lookup::Stale), "fingerprint echo");
+
+        // Overwriting repairs it.
+        cache.store(fp, b"good data");
+        assert!(matches!(cache.load(fp), Lookup::Hit(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_oldest_until_under_bound() {
+        let dir = tmp_dir("gc");
+        let cache = RunCache::open(&dir).expect("open").with_max_bytes(400);
+        let fps: Vec<Fingerprint> =
+            (0..8u64).map(|i| FpHasher::new("gc").feed(&i).finish()).collect();
+        for (i, &fp) in fps.iter().enumerate() {
+            cache.store(fp, &vec![i as u8; 64]);
+            // Distinct mtimes so eviction order is well-defined.
+            let t = filetime_now_minus(&cache.path_for(fp), (8 - i) as u64);
+            let _ = t;
+        }
+        let stats = cache.gc();
+        assert_eq!(stats.entries, 8);
+        assert!(stats.evicted > 0, "over budget must evict");
+        let live: u64 = (0..8)
+            .filter(|&i| matches!(cache.load(fps[i]), Lookup::Hit(_)))
+            .count() as u64;
+        assert_eq!(live + stats.evicted, 8);
+        assert!(stats.bytes_before - stats.bytes_evicted <= 400);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Ages a file by `secs` via filetime-less std: rewrite is enough to
+    /// order mtimes on filesystems with coarse timestamps — fall back to a
+    /// short sleep only when necessary.
+    fn filetime_now_minus(_path: &Path, _secs: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn unwritable_store_is_silent() {
+        // Storing under a path whose parent is a *file* cannot succeed; it
+        // must not panic and must leave the cache consistent.
+        let dir = tmp_dir("silent");
+        fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("blk");
+        fs::write(&blocker, b"file, not dir").unwrap();
+        let cache = RunCache { dir: blocker, max_bytes: DEFAULT_MAX_BYTES };
+        let fp = FpHasher::new("t").feed(&1u64).finish();
+        cache.store(fp, b"x");
+        assert!(matches!(cache.load(fp), Lookup::Miss | Lookup::Stale));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -26,11 +26,26 @@
 //! (prefix truncation, then zeroing individual choices) and the report
 //! carries a copy-pasteable schedule string that reproduces the failure via
 //! [`Schedule::parse`] + [`ScheduleChooser::replay`].
+//!
+//! # Parallel exploration
+//!
+//! Enumeration proceeds in **waves** whose composition is fixed before any
+//! schedule in the wave executes: phase 1 expands the exhaustive frontier
+//! breadth-first (each wave's children are derived from the previous wave's
+//! recordings), phases 2 and 3 are pre-seeded, so a wave is an
+//! embarrassingly-parallel batch. [`explore`] runs waves on the calling
+//! thread; [`explore_jobs`] fans each wave across the worker pool's
+//! atomic-index dispatcher ([`crate::parallel::par_map_indexed`]) and merges
+//! recordings back in wave order. Because wave composition, failure
+//! selection (first failing schedule in wave order), and the explored-set
+//! fingerprint are all independent of who executed what, the two entry
+//! points return identical reports at any job count.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::event::EventChooser;
+use crate::parallel::par_map_indexed;
 use crate::rng::{mix64, Xoshiro256StarStar};
 
 /// A recorded (or prescribed) sequence of scheduling choices.
@@ -311,89 +326,182 @@ fn trim_trailing_zeros(mut v: Vec<u8>) -> Vec<u8> {
     v
 }
 
-/// Explores schedules of `run` under `cfg`. `run` must be deterministic: for
-/// a fixed chooser behaviour it must perform the identical simulation (the
-/// harness builds a fresh system inside `run` each call).
-///
-/// `run` drives its simulation through the provided [`ScheduleChooser`]
-/// (typically by passing it to [`crate::EventQueue::pop_explored`]) and
-/// returns `Err(message)` if any correctness check failed.
-pub fn explore<F>(cfg: &ExploreConfig, mut run: F) -> ExploreReport
+/// A chooser, described by value so a wave can be enumerated before any of
+/// it executes (and shipped to a worker thread).
+#[derive(Debug, Clone)]
+enum ChooserSpec {
+    /// Replay a choice prefix, FIFO afterwards (phases 1 and shrinking).
+    Replay(Vec<u8>),
+    /// Seeded uniformly-random tail (phase 2).
+    Random(u64),
+    /// Seeded delay-bounded tail (phase 3).
+    Delay(u64, usize),
+}
+
+impl ChooserSpec {
+    fn build(&self) -> ScheduleChooser {
+        match self {
+            ChooserSpec::Replay(choices) => ScheduleChooser::replay(choices.clone()),
+            ChooserSpec::Random(seed) => ScheduleChooser::random(*seed),
+            ChooserSpec::Delay(seed, budget) => ScheduleChooser::delay_bounded(*seed, *budget),
+        }
+    }
+}
+
+/// What one schedule execution recorded.
+struct WaveOutcome {
+    result: Result<(), String>,
+    taken: Vec<u8>,
+    widths: Vec<u8>,
+}
+
+/// Executes pre-enumerated waves of schedules. The engine only ever observes
+/// outcomes *in wave order*, so any runner that preserves it (sequentially
+/// or by index-merged fan-out) yields identical exploration.
+trait WaveRunner {
+    fn run_wave(&mut self, specs: &[ChooserSpec]) -> Vec<WaveOutcome>;
+}
+
+/// Runs every schedule on the calling thread, in order.
+struct SeqRunner<F>(F);
+
+impl<F> WaveRunner for SeqRunner<F>
 where
     F: FnMut(&mut ScheduleChooser) -> Result<(), String>,
 {
+    fn run_wave(&mut self, specs: &[ChooserSpec]) -> Vec<WaveOutcome> {
+        specs
+            .iter()
+            .map(|spec| {
+                let mut chooser = spec.build();
+                let result = (self.0)(&mut chooser);
+                WaveOutcome {
+                    result,
+                    taken: chooser.taken().to_vec(),
+                    widths: chooser.widths().to_vec(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Fans each wave across worker threads via atomic-index dispatch and
+/// merges the outcomes back into wave order.
+struct ParRunner<'f, F> {
+    run: &'f F,
+    jobs: usize,
+}
+
+impl<F> WaveRunner for ParRunner<'_, F>
+where
+    F: Fn(&mut ScheduleChooser) -> Result<(), String> + Sync,
+{
+    fn run_wave(&mut self, specs: &[ChooserSpec]) -> Vec<WaveOutcome> {
+        par_map_indexed(specs.len(), self.jobs, |i| {
+            let mut chooser = specs[i].build();
+            let result = (self.run)(&mut chooser);
+            WaveOutcome {
+                result,
+                taken: chooser.taken().to_vec(),
+                widths: chooser.widths().to_vec(),
+            }
+        })
+    }
+}
+
+/// Fixed chunk size for the random and delay-bounded phases. A failing
+/// exploration stops after the chunk containing the failure instead of
+/// burning the full budget; the chunk boundary is a constant so the explored
+/// set never depends on the job count.
+const TAIL_WAVE: usize = 32;
+
+fn explore_engine<R: WaveRunner>(cfg: &ExploreConfig, runner: &mut R) -> ExploreReport {
     let mut seen: BTreeSet<Vec<u8>> = BTreeSet::new();
     let mut runs = 0usize;
-
-    let mut exec = |prefix_chooser: &mut ScheduleChooser,
-                    runs: &mut usize,
-                    seen: &mut BTreeSet<Vec<u8>>|
-     -> Result<(), String> {
-        *runs += 1;
-        let result = run(prefix_chooser);
-        seen.insert(prefix_chooser.taken().to_vec());
-        result
-    };
-
     let mut failure: Option<(String, Vec<u8>)> = None;
 
-    // Phase 1: exhaustive DFS over the leading decision points. Children of
-    // a run extend its *recorded* prefix at each decision point past the
-    // prescribed prefix, so every generated sequence is reachable and
-    // distinct by construction.
-    let mut stack: Vec<Vec<u8>> = vec![Vec::new()];
-    while let Some(prefix) = stack.pop() {
-        if runs >= cfg.max_schedules || failure.is_some() {
-            break;
-        }
-        let from = prefix.len();
-        let mut chooser = ScheduleChooser::replay(prefix);
-        let result = exec(&mut chooser, &mut runs, &mut seen);
-        let taken = chooser.taken().to_vec();
-        if let Err(msg) = result {
-            failure = Some((msg, taken));
-            break;
-        }
-        // Expand in reverse so the stack pops lexicographically.
-        let upto = taken.len().min(cfg.exhaustive_depth);
-        for i in (from..upto).rev() {
-            let width = chooser.widths()[i];
-            for c in (1..width).rev() {
-                let mut child = taken[..i].to_vec();
-                child.push(c);
-                stack.push(child);
+    // Absorbs one wave's outcomes: record every schedule (a failing wave
+    // still contributes its full recording to `seen`) and latch the first
+    // failure in wave order.
+    let absorb = |outcomes: &[WaveOutcome],
+                      runs: &mut usize,
+                      seen: &mut BTreeSet<Vec<u8>>,
+                      failure: &mut Option<(String, Vec<u8>)>| {
+        *runs += outcomes.len();
+        for out in outcomes {
+            seen.insert(out.taken.clone());
+            if failure.is_none() {
+                if let Err(msg) = &out.result {
+                    *failure = Some((msg.clone(), out.taken.clone()));
+                }
             }
         }
+    };
+
+    // Phase 1: exhaustive enumeration over the leading decision points,
+    // breadth-first. Children of a run extend its *recorded* prefix with a
+    // non-zero choice at each decision point past the prescribed prefix, so
+    // every generated sequence is reachable and — because a child string
+    // uniquely determines its parent (trim the trailing zeros off the part
+    // before the appended choice) — distinct by construction.
+    let mut frontier: Vec<Vec<u8>> = vec![Vec::new()];
+    while !frontier.is_empty() && failure.is_none() && runs < cfg.max_schedules {
+        frontier.truncate(cfg.max_schedules - runs);
+        let specs: Vec<ChooserSpec> =
+            frontier.iter().map(|p| ChooserSpec::Replay(p.clone())).collect();
+        let outcomes = runner.run_wave(&specs);
+        absorb(&outcomes, &mut runs, &mut seen, &mut failure);
+        let mut next = Vec::new();
+        if failure.is_none() {
+            for (prefix, out) in frontier.iter().zip(&outcomes) {
+                let from = prefix.len();
+                let upto = out.taken.len().min(cfg.exhaustive_depth);
+                for i in from..upto {
+                    for c in 1..out.widths[i] {
+                        let mut child = out.taken[..i].to_vec();
+                        child.push(c);
+                        next.push(child);
+                    }
+                }
+            }
+        }
+        frontier = next;
     }
 
-    // Phase 2: seeded random tails.
-    for i in 0..cfg.random_schedules {
-        if runs >= cfg.max_schedules || failure.is_some() {
-            break;
-        }
-        let mut chooser = ScheduleChooser::random(mix64(cfg.seed ^ (i as u64).wrapping_mul(2) + 1));
-        let result = exec(&mut chooser, &mut runs, &mut seen);
-        if let Err(msg) = result {
-            failure = Some((msg, chooser.taken().to_vec()));
-        }
+    // Phase 2: seeded random tails, in fixed-size chunks.
+    let mut i = 0usize;
+    while i < cfg.random_schedules && failure.is_none() && runs < cfg.max_schedules {
+        let n = (cfg.random_schedules - i)
+            .min(cfg.max_schedules - runs)
+            .min(TAIL_WAVE);
+        let specs: Vec<ChooserSpec> = (i..i + n)
+            .map(|j| ChooserSpec::Random(mix64(cfg.seed ^ (j as u64).wrapping_mul(2) + 1)))
+            .collect();
+        let outcomes = runner.run_wave(&specs);
+        absorb(&outcomes, &mut runs, &mut seen, &mut failure);
+        i += n;
     }
 
-    // Phase 3: delay-bounded tails.
-    for i in 0..cfg.delay_schedules {
-        if runs >= cfg.max_schedules || failure.is_some() {
-            break;
-        }
-        let seed = mix64(cfg.seed ^ 0xD31A_B0DE ^ ((i as u64) << 32));
-        let mut chooser = ScheduleChooser::delay_bounded(seed, cfg.delay_budget);
-        let result = exec(&mut chooser, &mut runs, &mut seen);
-        if let Err(msg) = result {
-            failure = Some((msg, chooser.taken().to_vec()));
-        }
+    // Phase 3: delay-bounded tails, same chunking.
+    let mut i = 0usize;
+    while i < cfg.delay_schedules && failure.is_none() && runs < cfg.max_schedules {
+        let n = (cfg.delay_schedules - i)
+            .min(cfg.max_schedules - runs)
+            .min(TAIL_WAVE);
+        let specs: Vec<ChooserSpec> = (i..i + n)
+            .map(|j| {
+                let seed = mix64(cfg.seed ^ 0xD31A_B0DE ^ ((j as u64) << 32));
+                ChooserSpec::Delay(seed, cfg.delay_budget)
+            })
+            .collect();
+        let outcomes = runner.run_wave(&specs);
+        absorb(&outcomes, &mut runs, &mut seen, &mut failure);
+        i += n;
     }
 
     let failure = failure.map(|(message, taken)| {
         let original_steps = taken.len();
-        let (schedule, shrink_runs) = shrink(&mut run, taken, cfg.shrink_budget);
+        let (schedule, shrink_runs) = shrink(runner, taken, cfg.shrink_budget);
         Failure {
             message,
             schedule,
@@ -420,18 +528,57 @@ where
     }
 }
 
-/// Greedy schedule minimization: re-runs candidate simplifications of the
-/// failing choice sequence, keeping any that still fail. Any failure counts
-/// ("still failing"), not just the original message — a shorter schedule
-/// tripping a different check is still a minimal repro.
-fn shrink<F>(run: &mut F, taken: Vec<u8>, budget: usize) -> (Schedule, usize)
+/// Explores schedules of `run` under `cfg`. `run` must be deterministic: for
+/// a fixed chooser behaviour it must perform the identical simulation (the
+/// harness builds a fresh system inside `run` each call).
+///
+/// `run` drives its simulation through the provided [`ScheduleChooser`]
+/// (typically by passing it to [`crate::EventQueue::pop_explored`]) and
+/// returns `Err(message)` if any correctness check failed.
+pub fn explore<F>(cfg: &ExploreConfig, run: F) -> ExploreReport
 where
     F: FnMut(&mut ScheduleChooser) -> Result<(), String>,
 {
+    explore_engine(cfg, &mut SeqRunner(run))
+}
+
+/// [`explore`] fanned across `jobs` worker threads.
+///
+/// `run` must additionally be `Fn + Sync` so workers can execute schedules
+/// concurrently; each invocation still gets its own [`ScheduleChooser`] and
+/// must build its own fresh system. The report — schedules run, distinct
+/// set, fingerprint, and (minimized) failure — is identical to the
+/// sequential [`explore`] and to any other job count; only wall-clock time
+/// changes. Shrinking runs sequentially (each candidate depends on the last
+/// verdict).
+pub fn explore_jobs<F>(cfg: &ExploreConfig, jobs: usize, run: F) -> ExploreReport
+where
+    F: Fn(&mut ScheduleChooser) -> Result<(), String> + Sync,
+{
+    explore_engine(
+        cfg,
+        &mut ParRunner {
+            run: &run,
+            jobs: jobs.max(1),
+        },
+    )
+}
+
+/// Greedy schedule minimization: re-runs candidate simplifications of the
+/// failing choice sequence, keeping any that still fail. Any failure counts
+/// ("still failing"), not just the original message — a shorter schedule
+/// tripping a different check is still a minimal repro. Inherently
+/// sequential: each candidate depends on the previous verdict.
+fn shrink<R: WaveRunner>(runner: &mut R, taken: Vec<u8>, budget: usize) -> (Schedule, usize) {
     let mut used = 0usize;
     let mut fails = |cand: &[u8], used: &mut usize| -> bool {
         *used += 1;
-        run(&mut ScheduleChooser::replay(cand.to_vec())).is_err()
+        runner
+            .run_wave(std::slice::from_ref(&ChooserSpec::Replay(cand.to_vec())))
+            .pop()
+            .expect("one spec, one outcome")
+            .result
+            .is_err()
     };
 
     let mut best = trim_trailing_zeros(taken);
@@ -554,6 +701,33 @@ mod tests {
         let (fa, fb) = (a.failure.unwrap(), b.failure.unwrap());
         assert_eq!(fa.schedule, fb.schedule);
         assert_eq!(fa.message, fb.message);
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential_at_any_job_count() {
+        let cfg = ExploreConfig::default();
+        // A failing model: verdict, fingerprint, and minimized schedule must
+        // all agree between `explore` and `explore_jobs` at every job count.
+        let seq = explore(&cfg, |c| racy_counter(3, c));
+        for jobs in [1, 2, 4, 7] {
+            let par = explore_jobs(&cfg, jobs, |c| racy_counter(3, c));
+            assert_eq!(par.schedules_run, seq.schedules_run, "jobs={jobs}");
+            assert_eq!(par.distinct_schedules, seq.distinct_schedules, "jobs={jobs}");
+            assert_eq!(par.fingerprint, seq.fingerprint, "jobs={jobs}");
+            let (fs, fp) = (seq.failure.as_ref().unwrap(), par.failure.as_ref().unwrap());
+            assert_eq!(fp.schedule, fs.schedule, "jobs={jobs}");
+            assert_eq!(fp.message, fs.message, "jobs={jobs}");
+            assert_eq!(fp.original_steps, fs.original_steps, "jobs={jobs}");
+        }
+        // A passing model: the full three-phase budget must merge identically.
+        let seq = explore(&cfg, |c| racy_counter(1, c));
+        assert!(seq.failure.is_none());
+        for jobs in [2, 5] {
+            let par = explore_jobs(&cfg, jobs, |c| racy_counter(1, c));
+            assert!(par.failure.is_none(), "jobs={jobs}");
+            assert_eq!(par.fingerprint, seq.fingerprint, "jobs={jobs}");
+            assert_eq!(par.schedules_run, seq.schedules_run, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`parallel`] — a fixed-size worker pool that fans independent
 //!   simulations out over OS threads with deterministic (submission-order)
 //!   results and per-run panic isolation.
+//! * [`cache`] — a persistent, content-addressed run cache: stable
+//!   fingerprints over run inputs, a hand-rolled binary codec for run
+//!   results, and a size-bounded on-disk store that lets deterministic
+//!   sweeps short-circuit recomputation.
 //! * [`check`] — a dependency-free deterministic randomized-testing
 //!   harness used by the workspace's property tests.
 //! * [`explore`] — a deterministic schedule-exploration engine (exhaustive,
@@ -46,6 +50,7 @@
 mod event;
 mod time;
 
+pub mod cache;
 pub mod check;
 pub mod config;
 pub mod explore;

@@ -77,6 +77,35 @@ pub enum ContentionPolicy {
     SizeMatters,
 }
 
+impl ltse_sim::cache::FpHash for ContentionPolicy {
+    fn fp_feed(&self, h: &mut ltse_sim::cache::FpHasher) {
+        h.write_u64(match self {
+            ContentionPolicy::RequesterStalls => 0,
+            ContentionPolicy::RequesterAborts => 1,
+            ContentionPolicy::SizeMatters => 2,
+        });
+    }
+}
+
+impl ltse_sim::cache::CacheValue for ContentionPolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ContentionPolicy::RequesterStalls => 0,
+            ContentionPolicy::RequesterAborts => 1,
+            ContentionPolicy::SizeMatters => 2,
+        });
+    }
+
+    fn decode(r: &mut ltse_sim::cache::ByteReader<'_>) -> Option<Self> {
+        match r.u8()? {
+            0 => Some(ContentionPolicy::RequesterStalls),
+            1 => Some(ContentionPolicy::RequesterAborts),
+            2 => Some(ContentionPolicy::SizeMatters),
+            _ => None,
+        }
+    }
+}
+
 /// Decides the requester's action and whether the *nacker* must set its
 /// `possible_cycle` flag.
 ///

@@ -1,23 +1,32 @@
 #!/usr/bin/env bash
-# Run the hot-path micro-benchmark suite and serialize the results to
-# BENCH_hotpath.json at the repo root.
+# Run the benchmark suites and serialize the results to JSON files at the
+# repo root:
+#
+#   BENCH_hotpath.json   — data-structure micro-benchmarks (signatures,
+#                          event queue, end-to-end counter)
+#   BENCH_pipeline.json  — pipeline-level benchmarks (run cache cold vs
+#                          warm, sequential vs parallel exploration)
 #
 # Usage:
-#   scripts/bench.sh                 # full run (~1-2 min), overwrites BENCH_hotpath.json
+#   scripts/bench.sh                      # full run (~2-3 min), overwrites both files
 #   LTSE_BENCH_QUICK=1 scripts/bench.sh   # CI smoke: tiny workloads, same JSON shape
-#   LTSE_BENCH_JSON=out.json scripts/bench.sh   # write elsewhere
+#   LTSE_BENCH_DIR=out scripts/bench.sh   # write the JSON files elsewhere
 #
-# The JSON carries baseline AND optimized timings for each hot path plus the
-# derived speedups, so numbers are comparable across PRs: commit the file
-# after a full run on a quiet machine and diff the "speedups" object.
+# Each JSON carries baseline AND optimized timings for each path plus the
+# derived speedups, so numbers are comparable across PRs: commit the files
+# after a full run on a quiet machine and diff the "speedups" objects.
+# Note: the explore_parallel speedup needs a multicore host — on one CPU it
+# only measures pool overhead (the JSON records "cpus" for this reason).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${LTSE_BENCH_JSON:-BENCH_hotpath.json}"
+outdir="${LTSE_BENCH_DIR:-$PWD}"
 # cargo runs benches with the package directory as cwd; anchor relative
 # paths to the repo root.
-case "$out" in /*) ;; *) out="$PWD/$out" ;; esac
+case "$outdir" in /*) ;; *) outdir="$PWD/$outdir" ;; esac
 
-LTSE_BENCH_JSON="$out" cargo bench --bench hotpath
-
-echo "bench results written to $out"
+for bench in hotpath pipeline; do
+    out="$outdir/BENCH_$bench.json"
+    LTSE_BENCH_JSON="$out" cargo bench --bench "$bench"
+    echo "bench results written to $out"
+done

@@ -19,31 +19,37 @@ LTSE_EXPLORE_SCHEDULES=300 cargo test -q --release --test integration_explore
 t_exp1=$(date +%s%N)
 echo "ok: exploration smoke in $(( (t_exp1 - t_exp0) / 1000000 )) ms"
 
-echo "== bench smoke: hotpath suite in quick mode =="
-# Asserts the suite runs and emits valid JSON with the expected shape; no
+echo "== bench smoke: hotpath + pipeline suites in quick mode =="
+# Asserts both suites run and emit valid JSON with the expected shape; no
 # timing thresholds — CI machines are too noisy for that.
-bench_json=$(mktemp)
-trap 'rm -f "$bench_json"' EXIT
-LTSE_BENCH_QUICK=1 LTSE_BENCH_JSON="$bench_json" scripts/bench.sh 2>&1 | tail -5
-python3 - "$bench_json" <<'EOF'
-import json, sys
-with open(sys.argv[1]) as f:
-    doc = json.load(f)
-assert doc["bench"] == "hotpath", doc
-assert doc["quick"] is True, "smoke must run in quick mode"
-assert len(doc["cases"]) >= 7, f"expected >=7 cases, got {len(doc['cases'])}"
-for c in doc["cases"]:
-    assert c["best_ms"] > 0 and c["mean_ms"] >= c["best_ms"], c
-assert set(doc["speedups"]) == {
-    "sig_membership_bitselect", "sig_membership_bloom", "event_queue_churn",
-}, doc["speedups"]
-print("ok: BENCH json well-formed,", len(doc["cases"]), "cases")
+bench_dir=$(mktemp -d)
+trap 'rm -rf "$bench_dir"' EXIT
+LTSE_BENCH_QUICK=1 LTSE_BENCH_DIR="$bench_dir" scripts/bench.sh 2>&1 | tail -5
+python3 - "$bench_dir" <<'EOF'
+import json, os, sys
+d = sys.argv[1]
+expected_speedups = {
+    "hotpath": {"sig_membership_bitselect", "sig_membership_bloom", "event_queue_churn"},
+    "pipeline": {"cache_warm_vs_cold", "explore_parallel"},
+}
+min_cases = {"hotpath": 7, "pipeline": 4}
+for bench, speedups in expected_speedups.items():
+    with open(os.path.join(d, f"BENCH_{bench}.json")) as f:
+        doc = json.load(f)
+    assert doc["bench"] == bench, doc
+    assert doc["quick"] is True, "smoke must run in quick mode"
+    n = len(doc["cases"])
+    assert n >= min_cases[bench], f"{bench}: expected >={min_cases[bench]} cases, got {n}"
+    for c in doc["cases"]:
+        assert c["best_ms"] > 0 and c["mean_ms"] >= c["best_ms"], c
+    assert set(doc["speedups"]) == speedups, doc["speedups"]
+    print(f"ok: BENCH_{bench} json well-formed, {n} cases")
 EOF
 
 echo "== determinism smoke: repro --quick, 1 vs. 4 workers =="
 repro=target/release/repro
 out1=$(mktemp) out4=$(mktemp)
-trap 'rm -f "$out1" "$out4" "$bench_json"' EXIT
+trap 'rm -f "$out1" "$out4"; rm -rf "$bench_dir"' EXIT
 
 t_start=$(date +%s%N)
 "$repro" --quick --jobs 1 all >"$out1" 2>/dev/null
@@ -78,5 +84,38 @@ if [ "$cores" -ge 4 ]; then
 else
     echo "note: only $cores core(s) available; skipping speedup check"
 fi
+
+echo "== cache smoke: repro --quick twice into a fresh cache dir =="
+cache_dir=$(mktemp -d)
+err2=$(mktemp)
+trap 'rm -f "$out1" "$out4" "$err2"; rm -rf "$bench_dir" "$cache_dir"' EXIT
+
+t_cold0=$(date +%s%N)
+"$repro" --quick --jobs 4 --cache-dir "$cache_dir" all >"$out4" 2>/dev/null
+t_cold1=$(date +%s%N)
+if ! cmp -s "$out1" "$out4"; then
+    echo "FAIL: cold cached stdout differs from uncached stdout" >&2
+    exit 1
+fi
+"$repro" --quick --jobs 4 --cache-dir "$cache_dir" all >"$out4" 2>"$err2"
+t_warm1=$(date +%s%N)
+if ! cmp -s "$out1" "$out4"; then
+    echo "FAIL: warm cached stdout differs from uncached stdout" >&2
+    diff "$out1" "$out4" | head -40 >&2
+    exit 1
+fi
+if ! grep -q "cache: .* hit" "$err2"; then
+    echo "FAIL: warm run reported no cache hits on stderr" >&2
+    head -20 "$err2" >&2
+    exit 1
+fi
+if grep -qE "cache: .* [1-9][0-9]* miss" "$err2"; then
+    echo "FAIL: warm run still recomputed some runs" >&2
+    grep "cache:" "$err2" | head -20 >&2
+    exit 1
+fi
+ms_cold=$(( (t_cold1 - t_cold0) / 1000000 ))
+ms_warm=$(( (t_warm1 - t_cold1) / 1000000 ))
+echo "ok: warm cache hit everything, stdout byte-identical (cold ${ms_cold} ms, warm ${ms_warm} ms)"
 
 echo "== verify OK =="

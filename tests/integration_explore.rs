@@ -9,8 +9,8 @@
 //! schedules.
 
 use logtm_se::{
-    explore, Cycle, ExploreConfig, ExploreReport, ScheduleChooser, ScriptOp, System, SystemBuilder,
-    TxScript, WordAddr,
+    explore, explore_jobs, Cycle, ExploreConfig, ExploreReport, ScheduleChooser, ScriptOp, System,
+    SystemBuilder, TxScript, WordAddr,
 };
 
 /// Candidate window for each exploration decision: among how many
@@ -131,6 +131,25 @@ fn exploration_is_deterministic_and_seed_sensitive() {
         "same seed must reproduce the identical schedule set"
     );
     assert_ne!(a.fingerprint, c.fingerprint, "seeds must matter");
+}
+
+#[test]
+fn parallel_exploration_matches_sequential_on_real_systems() {
+    // The worker-pool explorer must be job-count invariant end to end:
+    // same schedules, same fingerprint, same verdict — on a full simulated
+    // system, not just the unit-test toy models.
+    let cfg = ExploreConfig {
+        seed: 0xA11CE,
+        ..ExploreConfig::with_budget(budget(96).min(96))
+    };
+    let seq = explore_system(&cfg, contended_counters);
+    for jobs in [1, 2, 4] {
+        let par = explore_jobs(&cfg, jobs, |c| check_one(c, contended_counters));
+        assert_eq!(seq.schedules_run, par.schedules_run, "jobs={jobs}");
+        assert_eq!(seq.distinct_schedules, par.distinct_schedules, "jobs={jobs}");
+        assert_eq!(seq.fingerprint, par.fingerprint, "jobs={jobs}");
+        assert!(par.failure.is_none(), "jobs={jobs}: clean workload must stay clean");
+    }
 }
 
 #[test]
