@@ -1,0 +1,200 @@
+//! Observability-layer overhead bench, with machine-readable output.
+//!
+//! The `ltse_sim::obs` layer claims to be zero-cost-when-off: every hook
+//! site in the simulator is one `Option` null check. This bench proves it
+//! on the same end-to-end contended-counter workload as `benches/hotpath.rs`
+//! — obs-off is timed against obs-on in the same run, so the emitted
+//! `obs_off_vs_on` ratio directly bounds the off-path overhead (a ratio of
+//! ~1.0 means the disabled layer costs nothing; the acceptance bar is
+//! off-path cost below 2%, i.e. ratio > 0.98). Micro-cases for the two obs
+//! primitives (metric bumps and span-ring pushes) are timed alongside so a
+//! future regression is attributable.
+//!
+//! Output:
+//!
+//! * human-readable lines on **stderr**;
+//! * a single JSON document on **stdout**, or to the file named by
+//!   `LTSE_BENCH_JSON` if set (what `scripts/bench.sh` uses to produce
+//!   `BENCH_obs.json`).
+//!
+//! Environment:
+//!
+//! * `LTSE_BENCH_QUICK=1` — CI smoke mode: tiny workloads, 2 iterations,
+//!   still full JSON structure (no timing thresholds are asserted anywhere).
+//! * `LTSE_BENCH_ITERS=N` — override the per-case iteration count.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use logtm_se::{SignatureKind, SystemBuilder, WordAddr};
+use ltse_bench::harness;
+use ltse_sim::obs::{ObsCore, StallCause};
+use ltse_sim::rng::mix64;
+use ltse_sim::Cycle;
+use ltse_workloads::{CsProgram, SharedCounter, SyncMode};
+
+struct CaseResult {
+    group: &'static str,
+    name: &'static str,
+    mean_ms: f64,
+    best_ms: f64,
+    iters: usize,
+}
+
+fn time_case<T>(
+    out: &mut Vec<CaseResult>,
+    group: &'static str,
+    name: &'static str,
+    iters: usize,
+    mut f: impl FnMut() -> T,
+) {
+    black_box(f()); // warmup
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        best = best.min(dt);
+    }
+    let mean_ms = total / iters as f64 * 1e3;
+    let best_ms = best * 1e3;
+    eprintln!(
+        "{:<44} mean {mean_ms:>9.3} ms   best {best_ms:>9.3} ms   ({iters} iters)",
+        format!("{group}/{name}")
+    );
+    out.push(CaseResult {
+        group,
+        name,
+        mean_ms,
+        best_ms,
+        iters,
+    });
+}
+
+fn mean_of<'a>(out: &'a [CaseResult], group: &str, name: &str) -> Option<&'a CaseResult> {
+    out.iter().find(|c| c.group == group && c.name == name)
+}
+
+/// best-time ratio `baseline / optimized` (higher = optimized is faster).
+fn speedup(out: &[CaseResult], group: &str, baseline: &str, optimized: &str) -> Option<f64> {
+    let b = mean_of(out, group, baseline)?;
+    let o = mean_of(out, group, optimized)?;
+    (o.best_ms > 0.0).then(|| b.best_ms / o.best_ms)
+}
+
+/// The hotpath bench's end-to-end workload, with the obs layer toggled.
+fn run_contended(observe: bool, cs_rounds: u64) -> logtm_se::RunReport {
+    let mut sys = SystemBuilder::paper_default()
+        .signature(SignatureKind::paper_bs_2kb())
+        .seed(5)
+        .observe(observe)
+        .build();
+    for t in 0..4u64 {
+        sys.add_thread(Box::new(CsProgram::new(
+            SharedCounter::new(WordAddr(t * 512), WordAddr(1 << 16), cs_rounds, 30),
+            SyncMode::Tm,
+            t,
+        )));
+    }
+    sys.run().expect("run")
+}
+
+fn main() {
+    let quick = std::env::var("LTSE_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let iters = harness::iters(if quick { 2 } else { 30 });
+    let mut out: Vec<CaseResult> = Vec::new();
+
+    // ---- end to end: the off-path overhead bound ------------------------
+    // `run_obs_on` is the baseline and `run_obs_off` the "optimized" side,
+    // so the emitted ratio reads "how much faster is obs-off than obs-on";
+    // the companion `obs_off_vs_on` inverts the roles to bound the cost of
+    // merely *compiling in* the disabled layer against full attribution.
+    // Larger than hotpath's 60 rounds: the off-vs-on delta is a few percent
+    // at most, so the per-run time must dwarf timer and scheduler noise.
+    let cs_rounds = if quick { 10 } else { 800 };
+    let e2e_iters = iters.min(12).max(if quick { 2 } else { 8 });
+    time_case(&mut out, "end_to_end", "run_obs_off", e2e_iters, || {
+        run_contended(false, cs_rounds)
+    });
+    time_case(&mut out, "end_to_end", "run_obs_on", e2e_iters, || {
+        run_contended(true, cs_rounds)
+    });
+
+    // ---- obs primitives -------------------------------------------------
+    let bumps = if quick { 50_000u64 } else { 2_000_000 };
+    time_case(&mut out, "primitives", "registry_bump", iters, || {
+        let mut o = ObsCore::new(0);
+        for i in 0..bumps {
+            // Rotate over a few static names like real hook sites do.
+            match i % 3 {
+                0 => o.bump("nacks_unjudged"),
+                1 => o.bump("preemptions"),
+                _ => o.add("partial_aborts", 1),
+            }
+        }
+        o.report().metrics.get("preemptions")
+    });
+    let spans = if quick { 20_000u64 } else { 500_000 };
+    time_case(&mut out, "primitives", "span_ring_push", iters, || {
+        let mut o = ObsCore::new(4096);
+        for i in 0..spans {
+            let tid = (i % 32) as u32;
+            o.on_tx_begin(tid, Cycle(i));
+            o.on_stall(tid, StallCause::CoherenceNack, Cycle(mix64(i) % 64));
+            o.on_commit(tid, Cycle(i + 40));
+        }
+        o.report().spans_committed
+    });
+
+    // ---- JSON ----------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"obs\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in out.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ms\": {:.6}, \"best_ms\": {:.6}, \"iters\": {}}}{}\n",
+            c.group,
+            c.name,
+            c.mean_ms,
+            c.best_ms,
+            c.iters,
+            if i + 1 < out.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"speedups\": {\n");
+    let pairs = [(
+        "obs_off_vs_on",
+        speedup(&out, "end_to_end", "run_obs_on", "run_obs_off"),
+    )];
+    for (i, (name, s)) in pairs.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {}{}\n",
+            s.map_or("null".to_string(), |v| format!("{v:.3}")),
+            if i + 1 < pairs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    for (name, s) in pairs {
+        if let Some(s) = s {
+            eprintln!("speedup {name:<32} {s:.2}x");
+            // The headline number: how much the *disabled* layer costs
+            // relative to full attribution being on.
+            eprintln!(
+                "obs-off overhead vs obs-on               {:+.2}%",
+                (1.0 / s - 1.0) * 100.0
+            );
+        }
+    }
+
+    match std::env::var("LTSE_BENCH_JSON") {
+        Ok(path) if !path.is_empty() => {
+            std::fs::write(&path, &json).expect("write LTSE_BENCH_JSON file");
+            eprintln!("wrote {path}");
+        }
+        _ => print!("{json}"),
+    }
+}

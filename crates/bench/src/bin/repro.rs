@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--quick] [--csv] [--jobs N] [--cache-dir DIR] [--no-cache] <subcommand>
+//! repro [--quick] [--csv] [--jobs N] [--cache-dir DIR] [--no-cache]
+//!       [--stats-json PATH] <subcommand>
 //!
 //! Subcommands:
 //!   table1         System model parameters (paper Table 1)
@@ -35,6 +36,13 @@
 //! nondeterministic) go to stderr; a run that panics or errors is reported
 //! per label on stderr and flips the exit code to 1 without killing the
 //! other runs of the sweep.
+//!
+//! `--stats-json PATH` additionally writes the machine-readable telemetry
+//! document (`ltse.stats.v1`): one observability-enabled run per sweep
+//! experiment with cause-attributed stall/abort/NACK breakdowns that
+//! provably reconcile with the aggregate counters. The document is produced
+//! sequentially outside the pool and the cache, so its bytes are identical
+//! across `--jobs` values and cache configurations, and stdout is unchanged.
 //!
 //! `--cache-dir DIR` (or the `LTSE_CACHE` environment variable) enables the
 //! persistent run cache: repeated sweeps with identical inputs are served
@@ -122,6 +130,24 @@ fn parse_cache_dir(args: &[String]) -> Option<String> {
     None
 }
 
+/// Accepts `--stats-json PATH` and `--stats-json=PATH`. Returns the output
+/// path, if the flag was given.
+fn parse_stats_json(args: &[String]) -> Option<String> {
+    let bad = || -> ! {
+        eprintln!("error: --stats-json requires an output file path");
+        std::process::exit(2);
+    };
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--stats-json=") {
+            return Some(v.to_string());
+        }
+        if a == "--stats-json" {
+            return Some(args.get(i + 1).cloned().unwrap_or_else(|| bad()));
+        }
+    }
+    None
+}
+
 fn parse_jobs(args: &[String]) -> Option<usize> {
     // Accept `--jobs N` and `--jobs=N`. A missing or non-numeric value is a
     // usage error, not something to silently ignore.
@@ -168,7 +194,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--jobs" || *a == "--cache-dir" {
+            if *a == "--jobs" || *a == "--cache-dir" || *a == "--stats-json" {
                 skip_next = true;
             }
             !a.starts_with("--") && !skip_next
@@ -240,6 +266,27 @@ fn main() {
         }
     } else {
         all_ok = run_one(cmd);
+    }
+    // Telemetry export: one observability-enabled run per experiment,
+    // executed sequentially outside the pool and the cache, so the emitted
+    // bytes are identical whatever `--jobs` or the cache configuration
+    // says. Written to the given file; stdout stays byte-identical to a
+    // flag-less invocation.
+    if let Some(path) = parse_stats_json(&args) {
+        match ltse_bench::stats_json::stats_json(&scale) {
+            Ok(doc) => {
+                if let Err(e) = std::fs::write(&path, &doc) {
+                    eprintln!("error: cannot write stats-json to `{path}`: {e}");
+                    all_ok = false;
+                } else {
+                    eprintln!("[stats-json] wrote {} bytes to {path}", doc.len());
+                }
+            }
+            Err(e) => {
+                eprintln!("error: stats-json run failed: {e}");
+                all_ok = false;
+            }
+        }
     }
     if let Some(cache) = ltse_bench::cache::active_cache() {
         let gc = cache.gc();

@@ -504,8 +504,9 @@ pub struct Fig4Bar {
     pub label: String,
     /// Mean speedup normalized to the lock baseline.
     pub speedup: f64,
-    /// Half-width of the 95 % confidence interval.
-    pub ci95: f64,
+    /// Half-width of the 95 % confidence interval, or `None` when only one
+    /// seed ran (the t-interval is undefined for a single sample).
+    pub ci95: Option<f64>,
 }
 
 /// One benchmark's bars.
@@ -557,7 +558,7 @@ pub fn figure4(scale: &ExperimentScale) -> Result<Vec<Fig4Row>, SweepError> {
 
             let mut bars = vec![{
                 let ratios: SampleSet = lock_thr.iter().map(|t| t / lock_mean).collect();
-                let (speedup, ci95) = ratios.mean_ci95();
+                let (speedup, ci95) = ratios.mean_ci95().expect("one run per seed");
                 Fig4Bar {
                     label: "Lock".into(),
                     speedup,
@@ -568,7 +569,7 @@ pub fn figure4(scale: &ExperimentScale) -> Result<Vec<Fig4Row>, SweepError> {
             for kind in SignatureKind::figure4_set() {
                 let ratios: SampleSet =
                     it.by_ref().take(seeds.len()).map(|t| t / lock_mean).collect();
-                let (speedup, ci95) = ratios.mean_ci95();
+                let (speedup, ci95) = ratios.mean_ci95().expect("one run per seed");
                 let label = match kind {
                     SignatureKind::Perfect => "P".to_string(),
                     SignatureKind::BitSelect { bits: 2048 } => "BS".to_string(),

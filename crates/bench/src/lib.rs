@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod harness;
 pub mod render;
 pub mod runner;
+pub mod stats_json;
 
 pub use experiments::{
     contention_policies, figure4, log_filter_ablation, multi_cmp_comparison, nesting_ablation,

@@ -19,7 +19,11 @@ pub fn render_figure4(rows: &[Fig4Row]) -> String {
     for row in rows {
         out.push_str(&format!("{:<12}", row.benchmark.name()));
         for bar in &row.bars {
-            out.push_str(&format!(" {:>7.2} ±{:>4.2}", bar.speedup, bar.ci95));
+            match bar.ci95 {
+                Some(ci) => out.push_str(&format!(" {:>7.2} ±{:>4.2}", bar.speedup, ci)),
+                // One seed: the interval is undefined, not ±0.00.
+                None => out.push_str(&format!(" {:>7.2} ± n/a", bar.speedup)),
+            }
         }
         out.push('\n');
     }
@@ -306,12 +310,12 @@ pub fn csv_figure4(rows: &[Fig4Row]) -> String {
     for row in rows {
         for bar in &row.bars {
             out.push_str(&format!(
-                "{},{},{:.4},{:.4}
+                "{},{},{:.4},{}
 ",
                 row.benchmark.name(),
                 bar.label,
                 bar.speedup,
-                bar.ci95
+                bar.ci95.map(|c| format!("{c:.4}")).unwrap_or_default()
             ));
         }
     }

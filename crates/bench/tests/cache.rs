@@ -197,6 +197,127 @@ fn fingerprints_separate_seeds_fields_and_experiments() {
     assert_ne!(fp_params("sep", &base), fp_params("sep2", &base), "experiment name");
 }
 
+/// GC regression: with identical mtimes on every entry the eviction order
+/// must still be deterministic (filename is the secondary sort key), so
+/// repeated GC passes over equal stores always keep the same survivors.
+#[test]
+fn gc_tie_break_on_equal_mtimes_is_deterministic() {
+    use ltse_sim::cache::{FpHasher, Lookup, RunCache};
+    let _g = lock();
+    let payload = vec![0xABu8; 64];
+    let fps: Vec<Fingerprint> = (0..8u64)
+        .map(|i| FpHasher::new("gc-tie").feed(&i).finish())
+        .collect();
+
+    let survivors = |tag: &str| -> Vec<usize> {
+        let dir = tmp_cache(tag);
+        let cache = RunCache::open(&dir).expect("open").with_max_bytes(400);
+        for &fp in &fps {
+            cache.store(fp, &payload);
+        }
+        // Force every entry onto the same mtime: the tie-break must decide.
+        let stamp = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        for f in walk_runs(&dir) {
+            std::fs::File::options()
+                .write(true)
+                .open(&f)
+                .unwrap()
+                .set_modified(stamp)
+                .unwrap();
+        }
+        let stats = cache.gc();
+        assert!(stats.evicted > 0, "8×104 bytes over a 400-byte bound must evict");
+        let live: Vec<usize> = (0..fps.len())
+            .filter(|&i| matches!(cache.load(fps[i]), Lookup::Hit(_)))
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        live
+    };
+
+    let a = survivors("tie-a");
+    let b = survivors("tie-b");
+    assert!(!a.is_empty(), "the bound fits at least one entry");
+    assert_eq!(a, b, "equal-mtime eviction must be deterministic");
+}
+
+/// GC regression: zero-length (damaged or mid-write) entries must count
+/// toward the size bound and be evictable — before the fix they subtracted
+/// nothing from the live total, so GC could loop over them forever without
+/// ever fitting the bound.
+#[test]
+fn gc_charges_and_evicts_zero_length_entries() {
+    use ltse_sim::cache::{FpHasher, RunCache};
+    let _g = lock();
+    let dir = tmp_cache("gc-zero");
+    let cache = RunCache::open(&dir).expect("open").with_max_bytes(100);
+    for i in 0..8u64 {
+        cache.store(FpHasher::new("gc-zero").feed(&i).finish(), &[0u8; 8]);
+    }
+    // Truncate every entry to zero bytes: naive accounting would report the
+    // store as empty and never evict anything.
+    for f in walk_runs(&dir) {
+        std::fs::write(&f, b"").unwrap();
+    }
+    let stats = cache.gc();
+    assert_eq!(stats.entries, 8);
+    assert!(
+        stats.bytes_before >= 8 * 40,
+        "each zero-length entry must be charged at least its header size, got {}",
+        stats.bytes_before
+    );
+    assert!(stats.evicted > 0, "zero-length entries must be evictable");
+    let remaining = walk_runs(&dir).len() as u64;
+    assert!(
+        remaining * 40 <= 100,
+        "GC must actually reach the size bound ({remaining} entries left)"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `[timing]` cache-traffic invariant: every keyed run resolves to exactly
+/// one of hit/miss/stale, so per-sweep `hit + miss + stale == runs` — on a
+/// cold sweep, a warm re-entered sweep, and a sweep over damaged entries
+/// alike. A double-counted hit (or a miss counted alongside a stale
+/// recompute) breaks this immediately.
+#[test]
+fn cache_traffic_counts_sum_to_total_runs() {
+    let _g = lock();
+    static RAN: AtomicUsize = AtomicUsize::new(0);
+    let dir = tmp_cache("traffic");
+    set_cache_dir(&dir).expect("open cache dir");
+
+    let keys: Vec<Fingerprint> = (0..5u64)
+        .map(|i| run_fp("itest-traffic").feed(&i).finish())
+        .collect();
+    let assert_balanced = |phase: &str| {
+        let timings = runner::take_timings();
+        assert!(!timings.is_empty(), "{phase}: sweep must record a timing");
+        for t in &timings {
+            assert_eq!(
+                t.cache.hits + t.cache.misses + t.cache.stale,
+                t.runs as u64,
+                "{phase}: hit+miss+stale must equal total runs, got {:?} for {} runs",
+                t.cache,
+                t.runs
+            );
+        }
+    };
+
+    counting_sweep(&keys, &RAN); // cold: all misses
+    assert_balanced("cold");
+    counting_sweep(&keys, &RAN); // warm: all hits
+    assert_balanced("warm");
+    // Re-entered sweep with one damaged entry: 4 hits + 1 stale.
+    let mut files = walk_runs(&dir);
+    files.sort();
+    std::fs::write(&files[0], b"damaged").unwrap();
+    counting_sweep(&keys, &RAN);
+    assert_balanced("damaged");
+
+    disable_cache();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn walk_runs(dir: &std::path::Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     for sub in std::fs::read_dir(dir).unwrap().flatten() {

@@ -42,6 +42,8 @@ pub struct SystemBuilder {
     pub(crate) trace_capacity: usize,
     pub(crate) warmup_units: u64,
     pub(crate) check_serializability: bool,
+    pub(crate) observe: bool,
+    pub(crate) obs_span_capacity: usize,
 }
 
 impl SystemBuilder {
@@ -56,6 +58,8 @@ impl SystemBuilder {
             trace_capacity: 0,
             warmup_units: 0,
             check_serializability: false,
+            observe: false,
+            obs_span_capacity: 4096,
         }
     }
 
@@ -71,6 +75,8 @@ impl SystemBuilder {
             trace_capacity: 0,
             warmup_units: 0,
             check_serializability: false,
+            observe: false,
+            obs_span_capacity: 4096,
         }
     }
 
@@ -161,6 +167,30 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches the structured observability layer
+    /// ([`ltse_sim::obs::ObsCore`]) to the run: every stall and abort is
+    /// attributed to a cause, every coherence NACK is classified by
+    /// detection path (in-cache vs. decoupled sticky/signature) and by
+    /// true-sharing-vs-aliasing judgement, per-thread cycle breakdowns are
+    /// kept in the paper's §6 style, and a bounded ring of per-transaction
+    /// spans is retained. Retrieve results with
+    /// [`crate::System::obs_report`] (also carried on
+    /// [`crate::RunReport::obs`]). Off by default: the entire layer then
+    /// costs one null-pointer check per instrumented event.
+    pub fn observe(mut self, enabled: bool) -> Self {
+        self.observe = enabled;
+        self
+    }
+
+    /// Sets how many transaction spans the observability layer retains
+    /// (default 4096; older spans are dropped with drop accounting).
+    /// Implies nothing about [`Self::observe`] — that knob still gates the
+    /// whole layer.
+    pub fn observe_span_capacity(mut self, capacity: usize) -> Self {
+        self.obs_span_capacity = capacity;
+        self
+    }
+
     /// Attaches a differential serializability oracle to the run: every
     /// committed transaction is replayed, in commit order, against a
     /// sequential reference memory, checking read values, final state, and
@@ -247,7 +277,11 @@ mod tests {
             .seed(99)
             .check_serializability(true)
             .fault_skip_one_undo(true)
+            .observe(true)
+            .observe_span_capacity(128)
             .preemption(Cycle(100), true);
+        assert!(b.observe);
+        assert_eq!(b.obs_span_capacity, 128);
         assert_eq!(b.tm.signature, SignatureKind::paper_bs_64());
         assert!(b.check_serializability);
         assert!(b.tm.fault_skip_one_undo);

@@ -100,6 +100,9 @@ pub use ltse_sig::SignatureKind;
 pub use ltse_sim::explore::{
     explore, explore_jobs, ExploreConfig, ExploreReport, Schedule, ScheduleChooser,
 };
+pub use ltse_sim::obs::{
+    AbortCause, CycleBreakdown, DetectPath, ObsReport, StallCause, TxSpan,
+};
 pub use ltse_sim::{config::SimLimits, Cycle, EventChooser};
 pub use ltse_tm::conflict::ContentionPolicy;
 pub use ltse_tm::{NestKind, TmConfig};

@@ -1,6 +1,7 @@
 //! Run results.
 
 use ltse_mem::MemStats;
+use ltse_sim::obs::ObsReport;
 use ltse_sim::Cycle;
 use ltse_tm::{OsStats, TmStats};
 
@@ -22,6 +23,11 @@ pub struct RunReport {
     pub os: OsStats,
     /// Threads that ran to completion.
     pub threads_completed: usize,
+    /// Structured attribution data (stall/abort causes, NACK pairs,
+    /// detection paths, per-thread cycle breakdowns, transaction spans).
+    /// `None` unless the run enabled
+    /// [`crate::SystemBuilder::observe`].
+    pub obs: Option<ObsReport>,
 }
 
 impl RunReport {
@@ -71,6 +77,7 @@ mod tests {
             mem: MemStats::new(),
             os: OsStats::default(),
             threads_completed: 0,
+            obs: None,
         };
         assert_eq!(r.throughput_per_kcycle(), 0.0);
     }
@@ -86,6 +93,7 @@ mod tests {
             mem: MemStats::new(),
             os: OsStats::default(),
             threads_completed: 1,
+            obs: None,
         };
         assert!((r.throughput_per_kcycle() - 5.0).abs() < 1e-12);
         assert!(r.summary_line().contains("units=50"));

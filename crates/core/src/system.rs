@@ -7,8 +7,9 @@ use ltse_mem::{
     SerializabilityOracle, WordAddr, WORDS_PER_BLOCK,
 };
 use ltse_sim::config::SimLimits;
+use ltse_sim::obs::{AbortCause, DetectPath, ObsCore, ObsReport, StallCause};
 use ltse_sim::rng::Xoshiro256StarStar;
-use ltse_sim::trace::TraceBuffer;
+use ltse_sim::trace::{TraceBuffer, TraceTag};
 use ltse_sim::{Cycle, EventChooser, EventQueue};
 use ltse_tm::conflict::Resolution;
 use ltse_tm::{NestKind, OsModel, PreAccessCheck, ThreadTmState, TmUnit};
@@ -145,6 +146,9 @@ pub struct System {
     finished: usize,
     events_dispatched: u64,
     trace: Option<TraceBuffer>,
+    /// Structured observability ([`SystemBuilder::observe`]); `None` = off,
+    /// costing a single null check per instrumented event.
+    obs: Option<Box<ObsCore>>,
     /// Units of work left before the warm-up boundary (0 = measuring).
     warmup_remaining: u64,
     /// Cycle at which measurement began (warm-up boundary, or 0).
@@ -189,6 +193,7 @@ impl System {
             finished: 0,
             events_dispatched: 0,
             trace: (b.trace_capacity > 0).then(|| TraceBuffer::new(b.trace_capacity)),
+            obs: b.observe.then(|| Box::new(ObsCore::new(b.obs_span_capacity))),
             warmup_remaining: b.warmup_units,
             measure_from: Cycle::ZERO,
             oracle: b.check_serializability.then(SerializabilityOracle::new),
@@ -196,7 +201,7 @@ impl System {
     }
 
     #[inline]
-    fn trace(&mut self, at: Cycle, tag: &'static str, detail: impl FnOnce() -> String) {
+    fn trace(&mut self, at: Cycle, tag: TraceTag, detail: impl FnOnce() -> String) {
         if let Some(t) = self.trace.as_mut() {
             t.push(at, tag, detail());
         }
@@ -206,6 +211,18 @@ impl System {
     /// [`SystemBuilder::trace`] enabled tracing).
     pub fn trace_dump(&self) -> String {
         self.trace.as_ref().map(TraceBuffer::dump).unwrap_or_default()
+    }
+
+    /// The retained event trace, if tracing is enabled.
+    pub fn trace_buffer(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// Snapshot of the observability layer's attribution data, if
+    /// [`SystemBuilder::observe`] enabled it (also carried on
+    /// [`RunReport::obs`]).
+    pub fn obs_report(&self) -> Option<ObsReport> {
+        self.obs.as_deref().map(ObsCore::report)
     }
 
     /// Adds a thread (ASID 0) running `program`. Returns its thread id.
@@ -374,6 +391,7 @@ impl System {
             mem: self.mem.stats().clone(),
             os: self.os.stats.clone(),
             threads_completed: self.finished,
+            obs: self.obs.as_deref().map(ObsCore::report),
         }
     }
 
@@ -452,7 +470,9 @@ impl System {
         }
         if slot.pending_abort {
             self.threads[tid as usize].pending_abort = false;
-            self.do_abort(now, tid);
+            // Only the sticky-disabled overflow drain sets `pending_abort`,
+            // so the cause attribution is unambiguous.
+            self.do_abort(now, tid, AbortCause::StickyOverflow);
             return;
         }
 
@@ -503,8 +523,11 @@ impl System {
                         // far; caches, signatures, and logs stay warm.
                         self.tm.reset_stats();
                         self.mem.reset_stats();
+                        if let Some(o) = self.obs.as_deref_mut() {
+                            o.reset(now);
+                        }
                         self.measure_from = now;
-                        self.trace(now, "MEASURE", || "warm-up complete".into());
+                        self.trace(now, TraceTag::Measure, || "warm-up complete".into());
                     }
                 }
                 self.schedule_resume(tid, Cycle(1));
@@ -516,9 +539,14 @@ impl System {
                     NestKind::Closed
                 };
                 let was_nested = self.tm.in_tx(ctx);
-                self.trace(now, "BEGIN", || {
+                self.trace(now, TraceTag::Begin, || {
                     format!("tid={tid} ctx={ctx} kind={kind:?} nested={was_nested}")
                 });
+                if !was_nested {
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.on_tx_begin(tid, now);
+                    }
+                }
                 if let Some(o) = self.oracle.as_mut() {
                     o.begin(tid, kind == NestKind::Open);
                 }
@@ -534,9 +562,14 @@ impl System {
             }
             Op::TxCommit => {
                 let outcome = self.tm.commit_tx(ctx, now);
-                self.trace(now, "COMMIT", || {
+                self.trace(now, TraceTag::Commit, || {
                     format!("tid={tid} ctx={ctx} outermost={}", outcome.outermost)
                 });
+                if outcome.outermost {
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.on_commit(tid, now);
+                    }
+                }
                 self.threads[tid as usize].partial_streak = 0; // progress
                 let mut cost = outcome.cycles;
                 if outcome.needs_summary_update {
@@ -591,6 +624,11 @@ impl System {
                     if let Some(t) = self.tm.thread_mut(ctx) {
                         t.stats.stalls += 1;
                     }
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        // The trapping thread "stalls" for the handler's
+                        // duration plus its own retry.
+                        o.on_stall(tid, StallCause::SummaryConflict, cost + cfg.stall_retry_cycles);
+                    }
                     let slot = &mut self.threads[tid as usize];
                     slot.summary_stalls = 0;
                     slot.pending_op = Some(op);
@@ -605,11 +643,14 @@ impl System {
                 slot.summary_stalls += 1;
                 if self.tm.in_tx(ctx) && slot.summary_stalls > SUMMARY_STALL_ABORT_LIMIT {
                     slot.summary_stalls = 0;
-                    self.do_abort(now, tid);
+                    self.do_abort(now, tid, AbortCause::SummaryStallLimit);
                 } else {
                     slot.pending_op = Some(op);
                     if let Some(t) = self.tm.thread_mut(ctx) {
                         t.stats.stalls += 1;
+                    }
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.on_stall(tid, StallCause::SummaryConflict, cfg.stall_retry_cycles);
                     }
                     self.schedule_resume(tid, cfg.stall_retry_cycles);
                 }
@@ -619,12 +660,24 @@ impl System {
                 if let Some(t) = self.tm.thread_mut(ctx) {
                     t.stats.sibling_stalls += 1;
                 }
-                match self.tm.on_nack(ctx, Some(nacker)) {
+                let resolution = self.tm.on_nack(ctx, Some(nacker));
+                if let Some(o) = self.obs.as_deref_mut() {
+                    // `on_nack` bumps the TM stall counter for either
+                    // resolution; mirror that so the totals reconcile. An
+                    // abort costs no stall wait — its time lands in the
+                    // aborted bucket instead.
+                    let wait = match resolution {
+                        Resolution::Stall => cfg.stall_retry_cycles,
+                        Resolution::Abort => Cycle::ZERO,
+                    };
+                    o.on_stall(tid, StallCause::SiblingNack, wait);
+                }
+                match resolution {
                     Resolution::Stall => {
                         self.threads[tid as usize].pending_op = Some(op);
                         self.schedule_resume(tid, cfg.stall_retry_cycles);
                     }
-                    Resolution::Abort => self.do_abort(now, tid),
+                    Resolution::Abort => self.do_abort(now, tid, AbortCause::ConflictResolution),
                 }
                 return;
             }
@@ -636,16 +689,46 @@ impl System {
 
         match outcome {
             AccessOutcome::Nacked { latency, nacker } => {
+                // Classify the NACK *before* resolving it: a NACK changes no
+                // cache or signature state, so a post-hoc peek is faithful.
+                // In-cache means the nacker's L1 still holds the block (a
+                // cache-resident HTM would also have seen this conflict);
+                // sticky means detection relied on LogTM-SE's decoupled
+                // state. The exact-set re-judgement separates true sharing
+                // from signature aliasing.
+                let (path, judged) = if self.obs.is_some() {
+                    let in_cache = self.mem.l1_contains(self.tm.core_of(nacker), block);
+                    let sig_op = match kind {
+                        AccessKind::Load => ltse_sig::SigOp::Read,
+                        AccessKind::Store => ltse_sig::SigOp::Write,
+                    };
+                    let judged = self
+                        .tm
+                        .thread(nacker)
+                        .and_then(|t| t.judge_conflict(sig_op, block));
+                    let path = if in_cache { DetectPath::InCache } else { DetectPath::Sticky };
+                    (path, judged)
+                } else {
+                    (DetectPath::InCache, None)
+                };
                 let resolution = self.tm.on_nack(ctx, Some(nacker));
-                self.trace(now, "NACK", || {
+                self.trace(now, TraceTag::Nack, || {
                     format!("tid={tid} {kind} {block} by ctx{nacker} -> {resolution:?}")
                 });
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.on_nack_pair(nacker, ctx, path, judged);
+                    let wait = match resolution {
+                        Resolution::Stall => latency + cfg.stall_retry_cycles,
+                        Resolution::Abort => Cycle::ZERO,
+                    };
+                    o.on_stall(tid, StallCause::CoherenceNack, wait);
+                }
                 match resolution {
                     Resolution::Stall => {
                         self.threads[tid as usize].pending_op = Some(op);
                         self.schedule_resume(tid, latency + cfg.stall_retry_cycles);
                     }
-                    Resolution::Abort => self.do_abort(now, tid),
+                    Resolution::Abort => self.do_abort(now, tid, AbortCause::ConflictResolution),
                 }
             }
             AccessOutcome::Done(done) => {
@@ -674,6 +757,9 @@ impl System {
                                 .access(ctx, AccessKind::Store, log_write.addr.block(), &self.tm);
                         total += log_out.latency();
                         if !log_out.is_done() {
+                            if let Some(o) = self.obs.as_deref_mut() {
+                                o.bump("log_store_nack_bounces");
+                            }
                             let retry =
                                 self.mem
                                     .access(ctx, AccessKind::Store, log_write.addr.block(), &self.tm);
@@ -751,11 +837,18 @@ impl System {
     /// (paper §3.2): unroll only the innermost frame, restore the parent's
     /// signature, and retry the inner transaction — if the program supports
     /// resuming there and the streak of fruitless partial aborts is short.
-    fn do_abort(&mut self, now: Cycle, tid: u32) {
+    ///
+    /// `cause` attributes the abort in the observability layer; it does not
+    /// change the abort's mechanics.
+    fn do_abort(&mut self, now: Cycle, tid: u32, cause: AbortCause) {
         let ctx = self.threads[tid as usize].ctx.expect("abort of a running thread");
         let asid = self.threads[tid as usize].asid;
         let depth = self.tm.thread(ctx).map(|t| t.depth()).unwrap_or(0);
         if depth > 1 && self.threads[tid as usize].partial_streak < 3 {
+            let partials_before = self
+                .tm
+                .thread(ctx)
+                .map_or(0, |t| t.stats.partial_aborts);
             let mut undo: Vec<(WordAddr, [u64; 8])> = Vec::new();
             let handler = self.tm.abort_innermost(ctx, &mut |base, old| {
                 undo.push((base, *old));
@@ -773,6 +866,21 @@ impl System {
                 }
             }
             self.drain_overflow_events();
+            // Delta-counted against the TM stats so the obs metric equals
+            // `TmStats::partial_aborts` by construction (this fires whether
+            // or not the program can resume mid-nest — the frame is already
+            // unrolled either way).
+            let partials_after = self
+                .tm
+                .thread(ctx)
+                .map_or(0, |t| t.stats.partial_aborts);
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.on_partial_abort(
+                    tid,
+                    partials_after.saturating_sub(partials_before),
+                    handler + traffic,
+                );
+            }
             let slot = &mut self.threads[tid as usize];
             let mut prog_ctx = ProgCtx {
                 thread_id: tid,
@@ -791,11 +899,15 @@ impl System {
             // of the remaining frames (the inner one is already unrolled).
         }
         self.threads[tid as usize].partial_streak = 0;
+        let (aborts_before, wasted_before) = self
+            .tm
+            .thread(ctx)
+            .map_or((0, 0), |t| (t.stats.aborts, t.stats.wasted_cycles));
         let mut undo: Vec<(WordAddr, [u64; 8])> = Vec::new();
         let costs = self.tm.abort_tx(ctx, now, &mut |base, old| {
             undo.push((base, *old));
         });
-        self.trace(now, "ABORT", || {
+        self.trace(now, TraceTag::Abort, || {
             format!("tid={tid} restored={} backoff={}", undo.len(), costs.backoff)
         });
         // Apply the restores and charge their memory traffic. The whole
@@ -815,6 +927,22 @@ impl System {
             }
         }
         self.drain_overflow_events();
+        // Delta-counted so `ObsReport::abort_total` equals `TmStats::aborts`
+        // by construction, whatever `abort_tx` decided to charge.
+        let (aborts_after, wasted_after) = self
+            .tm
+            .thread(ctx)
+            .map_or((0, 0), |t| (t.stats.aborts, t.stats.wasted_cycles));
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.on_abort(
+                tid,
+                now,
+                cause,
+                aborts_after.saturating_sub(aborts_before),
+                wasted_after.saturating_sub(wasted_before),
+                costs.handler_cycles + traffic,
+            );
+        }
         let mut os_cost = Cycle::ZERO;
         if costs.needs_summary_update {
             let asid = self.threads[tid as usize].asid;
@@ -866,6 +994,14 @@ impl System {
             }
         }
         self.drain_overflow_events();
+        if let Some(o) = self.obs.as_deref_mut() {
+            // `OsLayer::abort_parked` asserts the victim is in a transaction
+            // and unrolls it exactly once, so the count is 1 by contract.
+            // The victim's wasted cycles live inside the OS-held state and
+            // are not reachable here; the handler + restore time is charged
+            // to its log-walk bucket instead.
+            o.on_abort(victim, now, AbortCause::ParkedBySummaryHandler, 1, 0, cost);
+        }
         if let Some(o) = self.oracle.as_mut() {
             o.abort_all(victim);
         }
@@ -898,6 +1034,11 @@ impl System {
                 if t.covers_hw(ev.block) {
                     let tid = t.thread_id;
                     if !self.threads[tid as usize].done {
+                        if !self.threads[tid as usize].pending_abort {
+                            if let Some(o) = self.obs.as_deref_mut() {
+                                o.bump("overflow_coverage_losses");
+                            }
+                        }
                         self.threads[tid as usize].pending_abort = true;
                         // Force a prompt wake-up to process the abort.
                         self.schedule_resume(tid, Cycle(1));
@@ -950,7 +1091,10 @@ impl System {
             }
             self.preempt_rr = (ctx as usize + 1) % n_ctxs;
             // Deschedule the victim...
-            self.trace(now, "PREEMPT", || format!("tid={victim_tid} off ctx{ctx}"));
+            self.trace(now, TraceTag::Preempt, || format!("tid={victim_tid} off ctx{ctx}"));
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.bump("preemptions");
+            }
             let _cost = self.os.deschedule(&mut self.tm, ctx);
             self.threads[victim_tid as usize].ctx = None;
             self.run_queue.push_back(victim_tid);
@@ -963,7 +1107,10 @@ impl System {
     }
 
     fn do_relocate_page(&mut self, now: Cycle, asid: Asid, vpage: u64) {
-        self.trace(now, "PAGEMOVE", || format!("{asid} vpage={vpage}"));
+        self.trace(now, TraceTag::PageMove, || format!("{asid} vpage={vpage}"));
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.bump("page_moves");
+        }
         const WORDS_PER_PAGE: u64 = 512;
         let table = self.page_tables.entry(asid).or_default();
         let old_ppage = table.get(&vpage).copied().unwrap_or(vpage);
@@ -1125,6 +1272,151 @@ mod tests {
         let r = s.run().unwrap();
         assert_eq!(s.read_word(WordAddr(0)), 40);
         assert_eq!(r.tm.commits, 40);
+    }
+
+    #[test]
+    fn obs_off_by_default_and_report_carries_none() {
+        let mut s = small(SignatureKind::Perfect, 1);
+        s.add_thread(Box::new(Counter::new(WordAddr(0), 5)));
+        let r = s.run().unwrap();
+        assert!(r.obs.is_none());
+        assert!(s.obs_report().is_none());
+    }
+
+    /// The heart of the observability contract: every cause-attributed
+    /// counter must sum to the corresponding aggregate TM statistic, under
+    /// contention, for exact and aliasing signatures alike.
+    #[test]
+    fn obs_attribution_reconciles_with_tm_stats() {
+        for kind in [
+            SignatureKind::Perfect,
+            SignatureKind::paper_bs_64(),
+            SignatureKind::paper_dbs_2kb(),
+        ] {
+            let mut s = SystemBuilder::small_for_tests()
+                .signature(kind)
+                .seed(7)
+                .observe(true)
+                .build();
+            for _ in 0..4 {
+                s.add_thread(Box::new(Counter::new(WordAddr(0), 25)));
+            }
+            let r = s.run().unwrap();
+            let o = r.obs.as_ref().expect("observe(true) fills the report");
+            assert_eq!(o.stall_total(), r.tm.stalls, "{kind}: stall causes");
+            assert_eq!(o.stalls_sibling, r.tm.sibling_stalls, "{kind}: sibling split");
+            assert_eq!(o.abort_total(), r.tm.aborts, "{kind}: abort causes");
+            assert_eq!(
+                o.metrics.get("partial_aborts"),
+                r.tm.partial_aborts,
+                "{kind}: partial aborts"
+            );
+            assert_eq!(
+                o.spans_committed, r.tm.commits,
+                "{kind}: one committed span per commit"
+            );
+            // Every classified NACK carries exactly one detection path,
+            // one judgement outcome, and one (nacker, requester) pair.
+            let judged =
+                o.nacks_judged_true + o.nacks_judged_false + o.metrics.get("nacks_unjudged");
+            assert_eq!(o.nack_detect_total(), judged, "{kind}: judgement total");
+            let paired: u64 = o.nack_pairs.iter().map(|&(_, _, n)| n).sum();
+            assert_eq!(o.nack_detect_total(), paired, "{kind}: pair total");
+            // Contention on one word through exact sets is all true sharing.
+            if kind == SignatureKind::Perfect {
+                assert_eq!(o.nacks_judged_false, 0, "perfect sets cannot alias");
+            }
+            assert!(r.tm.stalls > 0, "{kind}: the workload must contend");
+        }
+    }
+
+    #[test]
+    fn obs_reconciles_across_warmup_boundary() {
+        let mut s = SystemBuilder::small_for_tests()
+            .signature(SignatureKind::paper_bs_2kb())
+            .seed(11)
+            .observe(true)
+            .warmup_units(20)
+            .build();
+        for _ in 0..4 {
+            s.add_thread(Box::new(Counter::new(WordAddr(0), 25)));
+        }
+        let r = s.run().unwrap();
+        let o = r.obs.as_ref().unwrap();
+        // The warm-up reset zeroes both sides at the same instant, so the
+        // post-warmup totals still reconcile — and the measured window saw
+        // fewer commits than the whole run.
+        assert_eq!(o.stall_total(), r.tm.stalls);
+        assert_eq!(o.abort_total(), r.tm.aborts);
+        assert_eq!(o.spans_committed, r.tm.commits);
+        assert!(r.tm.commits < 100, "warm-up discarded some commits");
+        assert_eq!(s.read_word(WordAddr(0)), 100, "warm-up is observational");
+    }
+
+    #[test]
+    fn obs_cycle_breakdown_is_sane() {
+        let mut s = SystemBuilder::small_for_tests()
+            .signature(SignatureKind::Perfect)
+            .seed(3)
+            .observe(true)
+            .build();
+        for _ in 0..4 {
+            s.add_thread(Box::new(Counter::new(WordAddr(0), 25)));
+        }
+        let r = s.run().unwrap();
+        let o = r.obs.as_ref().unwrap();
+        let total = o.cycles_total();
+        assert!(total.useful > 0, "committed work accrues useful cycles");
+        assert!(total.stalled > 0, "contention accrues stall waits");
+        assert_eq!(o.per_thread.len(), 4);
+        // Spans are per-transaction: committed ones outnumber everything
+        // else here, and each stays within the run.
+        assert_eq!(o.spans_committed + o.spans_aborted, o.spans.len() as u64 + o.spans_dropped);
+        for sp in &o.spans {
+            assert!(sp.end >= sp.begin);
+            assert!(sp.end <= r.cycles);
+        }
+    }
+
+    #[test]
+    fn obs_identical_run_is_deterministic() {
+        let run = |seed| {
+            let mut s = SystemBuilder::small_for_tests()
+                .signature(SignatureKind::paper_bs_64())
+                .seed(seed)
+                .observe(true)
+                .build();
+            for _ in 0..4 {
+                s.add_thread(Box::new(Counter::new(WordAddr(0), 20)));
+            }
+            s.run().unwrap().obs.unwrap()
+        };
+        assert_eq!(run(42), run(42), "obs must not perturb determinism");
+    }
+
+    #[test]
+    fn obs_is_purely_observational() {
+        // Toggling the layer must not change the simulation itself.
+        let run = |observe: bool| {
+            let mut s = SystemBuilder::small_for_tests()
+                .signature(SignatureKind::paper_bs_2kb())
+                .seed(9)
+                .observe(observe)
+                .build();
+            for _ in 0..4 {
+                s.add_thread(Box::new(Counter::new(WordAddr(0), 20)));
+            }
+            let r = s.run().unwrap();
+            (
+                r.cycles,
+                r.tm.commits,
+                r.tm.aborts,
+                r.tm.stalls,
+                r.mem.messages.get(),
+                r.mem.nacks.get(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -392,6 +392,15 @@ impl MemorySystem {
         }
     }
 
+    /// Whether `core`'s L1 holds `block` in any valid state (side-effect
+    /// free — no LRU touch). The observability layer uses this to classify
+    /// a NACK as an *in-cache* conflict (the nacker's L1 still holds the
+    /// block, so a cache-resident HTM would have caught it too) versus a
+    /// *decoupled* conflict carried only by signatures and sticky states.
+    pub fn l1_contains(&self, core: CoreId, block: BlockAddr) -> bool {
+        self.l1s[core as usize].peek(&block).is_some()
+    }
+
     /// The directory entry for `block`, if its L2 line is resident.
     pub fn dir_entry(&self, block: BlockAddr) -> Option<DirEntry> {
         let bank = self.bank_of(block);

@@ -466,7 +466,9 @@ impl CacheCounts {
 pub struct GcStats {
     /// Entries scanned.
     pub entries: u64,
-    /// Bytes on disk before the pass.
+    /// Bytes on disk before the pass. Every entry is charged at least its
+    /// fixed header size, so damaged zero-length files still count toward
+    /// the size bound.
     pub bytes_before: u64,
     /// Entries deleted (oldest first).
     pub evicted: u64,
@@ -585,9 +587,20 @@ impl RunCache {
     }
 
     /// Deletes entries oldest-first (by modification time) until the store
-    /// fits the size bound. Unreadable metadata counts as oldest.
+    /// fits the size bound. Unreadable metadata counts as oldest. Equal
+    /// mtimes — common on coarse-granularity filesystems when a sweep
+    /// stores many entries in the same second — are broken by filename, so
+    /// the eviction order is deterministic regardless of directory
+    /// enumeration order.
     pub fn gc(&self) -> GcStats {
-        let mut entries: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+        // A well-formed entry is never smaller than its header (magic,
+        // version, fingerprint, length, checksum). Charging every entry at
+        // least that much means zero-length (damaged or mid-write) files
+        // still count toward the size bound and remain evictable instead of
+        // subtracting nothing from the live total forever.
+        const MIN_ENTRY_BYTES: u64 = (MAGIC.len() + 4 + 16 + 4 + 8) as u64;
+        let mut entries: Vec<(std::time::SystemTime, std::ffi::OsString, u64, PathBuf)> =
+            Vec::new();
         let Ok(fanout) = fs::read_dir(&self.dir) else {
             return GcStats::default();
         };
@@ -601,20 +614,20 @@ impl RunCache {
                     Ok(m) => (m.modified().unwrap_or(std::time::UNIX_EPOCH), m.len()),
                     Err(_) => (std::time::UNIX_EPOCH, 0),
                 };
-                entries.push((mtime, len, f.path()));
+                entries.push((mtime, f.file_name(), len.max(MIN_ENTRY_BYTES), f.path()));
             }
         }
         let mut stats = GcStats {
             entries: entries.len() as u64,
-            bytes_before: entries.iter().map(|(_, len, _)| len).sum(),
+            bytes_before: entries.iter().map(|(_, _, len, _)| len).sum(),
             ..GcStats::default()
         };
         if stats.bytes_before <= self.max_bytes {
             return stats;
         }
-        entries.sort(); // oldest mtime first; path breaks ties
+        entries.sort(); // oldest mtime first; filename breaks ties
         let mut live = stats.bytes_before;
-        for (_, len, path) in entries {
+        for (_, _, len, path) in entries {
             if live <= self.max_bytes {
                 break;
             }

@@ -22,6 +22,9 @@
 //!   sweeps short-circuit recomputation.
 //! * [`check`] — a dependency-free deterministic randomized-testing
 //!   harness used by the workspace's property tests.
+//! * [`obs`] — the structured observability layer: metric registry,
+//!   stall/abort cause attribution, per-thread cycle breakdowns, and
+//!   bounded per-transaction span rings, all zero-cost when disabled.
 //! * [`explore`] — a deterministic schedule-exploration engine (exhaustive,
 //!   seeded-random, and delay-bounded interleavings with greedy failure
 //!   shrinking) layered on [`EventQueue::pop_explored`].
@@ -54,6 +57,7 @@ pub mod cache;
 pub mod check;
 pub mod config;
 pub mod explore;
+pub mod obs;
 pub mod parallel;
 pub mod rng;
 pub mod stats;

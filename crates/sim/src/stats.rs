@@ -181,6 +181,11 @@ impl Histogram {
     /// The `p`-th percentile (0–100) using the nearest-rank method, or
     /// `None` if the histogram is empty.
     ///
+    /// Matches the sorted-vector definition exactly: for `N` observations
+    /// sorted ascending, the result is element `max(1, ceil(p·N/100)) - 1`.
+    /// `percentile(0)` is therefore the minimum and `percentile(100)` the
+    /// maximum, with ties resolved toward the smaller value.
+    ///
     /// # Panics
     ///
     /// Panics if `p > 100`.
@@ -189,7 +194,8 @@ impl Histogram {
         if self.total == 0 {
             return None;
         }
-        let rank = ((p as u64) * self.total).div_ceil(100).max(1);
+        // u128 keeps `p * total` exact for any u64 population count.
+        let rank = ((p as u128 * self.total as u128).div_ceil(100) as u64).max(1);
         let mut seen = 0;
         for (&v, &n) in &self.buckets {
             seen += n;
@@ -197,6 +203,8 @@ impl Histogram {
                 return Some(v);
             }
         }
+        // Unreachable: rank <= total, and the cumulative count reaches
+        // total on the last bucket.
         self.buckets.keys().next_back().copied()
     }
 
@@ -229,9 +237,9 @@ const T_95: [f64; 29] = [
 /// use ltse_sim::stats::SampleSet;
 ///
 /// let s: SampleSet = [10.0, 11.0, 9.0, 10.5, 9.5].into_iter().collect();
-/// let (mean, half) = s.mean_ci95();
+/// let (mean, half) = s.mean_ci95().unwrap();
 /// assert!((mean - 10.0).abs() < 1e-9);
-/// assert!(half > 0.0);
+/// assert!(half.unwrap() > 0.0);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SampleSet {
@@ -259,14 +267,12 @@ impl SampleSet {
         self.samples.is_empty()
     }
 
-    /// Sample mean.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the set is empty.
-    pub fn mean(&self) -> f64 {
-        assert!(!self.samples.is_empty(), "mean of empty sample set");
-        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    /// Sample mean, or `None` for an empty set.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
     }
 
     /// Unbiased sample standard deviation (zero for fewer than two samples).
@@ -275,26 +281,26 @@ impl SampleSet {
         if n < 2 {
             return 0.0;
         }
-        let m = self.mean();
+        let m = self.mean().expect("n >= 2");
         let var = self.samples.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (n - 1) as f64;
         var.sqrt()
     }
 
     /// `(mean, half_width)` of the two-sided 95 % confidence interval using
-    /// Student's t distribution. The half width is zero for a single sample.
+    /// Student's t distribution.
     ///
-    /// # Panics
-    ///
-    /// Panics if the set is empty.
-    pub fn mean_ci95(&self) -> (f64, f64) {
+    /// Returns `None` for an empty set. For a single sample the mean is
+    /// reported but the half width is `None`: the t-interval is undefined
+    /// for n = 1, and reporting ±0 would claim impossible certainty.
+    pub fn mean_ci95(&self) -> Option<(f64, Option<f64>)> {
         let n = self.samples.len();
-        let mean = self.mean();
+        let mean = self.mean()?;
         if n < 2 {
-            return (mean, 0.0);
+            return Some((mean, None));
         }
         let t = if n <= 30 { T_95[n - 2] } else { 1.96 };
         let half = t * self.stddev() / (n as f64).sqrt();
-        (mean, half)
+        Some((mean, Some(half)))
     }
 
     /// Read-only view of the raw samples.
@@ -445,42 +451,95 @@ mod tests {
     }
 
     #[test]
-    fn ci_single_sample_zero_width() {
+    fn ci_single_sample_has_no_interval() {
+        // The t-interval is undefined for n = 1: the mean is reported but
+        // no half width — a ±0 interval would claim impossible certainty.
         let s: SampleSet = [4.2].into_iter().collect();
-        assert_eq!(s.mean_ci95(), (4.2, 0.0));
+        assert_eq!(s.mean_ci95(), Some((4.2, None)));
     }
 
     #[test]
     fn ci_known_value() {
         // n=5, sd=1, mean=0 → half width = 2.776 / sqrt(5) ≈ 1.2414
         let s: SampleSet = [-1.0, -1.0, 0.0, 1.0, 1.0].into_iter().collect();
-        let (mean, half) = s.mean_ci95();
+        let (mean, half) = s.mean_ci95().unwrap();
         assert!(mean.abs() < 1e-12);
         let sd = s.stddev();
         let expect = 2.776 * sd / 5f64.sqrt();
-        assert!((half - expect).abs() < 1e-9);
+        assert!((half.unwrap() - expect).abs() < 1e-9);
     }
 
     #[test]
     fn ci_large_n_uses_normal() {
         let s: SampleSet = (0..100).map(|i| (i % 2) as f64).collect();
-        let (_, half) = s.mean_ci95();
+        let (_, half) = s.mean_ci95().unwrap();
         let expect = 1.96 * s.stddev() / 10.0;
-        assert!((half - expect).abs() < 1e-9);
+        assert!((half.unwrap() - expect).abs() < 1e-9);
     }
 
     #[test]
     fn identical_samples_zero_stddev() {
         let s: SampleSet = [3.0; 10].into_iter().collect();
         assert_eq!(s.stddev(), 0.0);
-        let (m, h) = s.mean_ci95();
+        let (m, h) = s.mean_ci95().unwrap();
         assert_eq!(m, 3.0);
-        assert_eq!(h, 0.0);
+        assert_eq!(h, Some(0.0));
     }
 
     #[test]
-    #[should_panic(expected = "empty sample set")]
-    fn mean_of_empty_panics() {
-        SampleSet::new().mean();
+    fn empty_sample_set_returns_none() {
+        let s = SampleSet::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.mean_ci95(), None);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    /// Differential check of the histogram percentile against a plain
+    /// sorted-vector nearest-rank reference, across the full 0..=100 range
+    /// including heavy ties — the rank formula must agree everywhere.
+    #[test]
+    fn histogram_percentile_matches_sorted_vector_reference() {
+        fn reference(sorted: &[u64], p: u8) -> u64 {
+            let n = sorted.len() as u64;
+            let rank = ((p as u64 * n).div_ceil(100)).max(1);
+            sorted[(rank - 1) as usize]
+        }
+        // A deterministic LCG produces value streams with many ties.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for &n in &[1usize, 2, 3, 7, 100, 101, 1000] {
+            let mut h = Histogram::new();
+            let mut values: Vec<u64> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = next() % 17; // small modulus forces ties
+                h.record(v);
+                values.push(v);
+            }
+            values.sort_unstable();
+            for p in 0..=100u8 {
+                assert_eq!(
+                    h.percentile(p),
+                    Some(reference(&values, p)),
+                    "n={n} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_percentile_boundaries() {
+        let mut h = Histogram::new();
+        for v in [5, 5, 5, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0), Some(5), "p=0 is the minimum");
+        assert_eq!(h.percentile(100), Some(9), "p=100 is the maximum");
+        // rank(75) = ceil(3.0) = 3 → still inside the tied run of 5s.
+        assert_eq!(h.percentile(75), Some(5));
+        // rank(76) = ceil(3.04) = 4 → the 9.
+        assert_eq!(h.percentile(76), Some(9));
     }
 }

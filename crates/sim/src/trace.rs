@@ -5,26 +5,87 @@
 //! [`TraceBuffer`] keeps exactly that — bounded, allocation-light, and
 //! renderable — without the simulator paying anything when tracing is off
 //! (hold it in an `Option`).
+//!
+//! Events carry a structured [`TraceTag`] so tooling (the schedule
+//! explorer's failure dumps, tests) can filter by event kind instead of
+//! string-matching; the rendered text form is unchanged from the legacy
+//! string tags.
 
 use std::collections::VecDeque;
 use std::fmt;
 
 use crate::Cycle;
 
+/// The kind of a traced protocol event. The `Display` form matches the
+/// historical string tags, so rendered dumps are stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceTag {
+    /// Transaction begin.
+    Begin,
+    /// Transaction commit.
+    Commit,
+    /// Transaction abort (full).
+    Abort,
+    /// A coherence/sibling NACK.
+    Nack,
+    /// A summary-signature stall or trap.
+    Stall,
+    /// A thread preempted off its context.
+    Preempt,
+    /// A physical page relocation.
+    PageMove,
+    /// The warm-up measurement boundary.
+    Measure,
+    /// Lost conflict coverage (sticky disabled overflow).
+    Overflow,
+    /// Anything else (tests, ad-hoc instrumentation).
+    Custom(&'static str),
+}
+
+impl TraceTag {
+    /// The stable short string form.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            TraceTag::Begin => "BEGIN",
+            TraceTag::Commit => "COMMIT",
+            TraceTag::Abort => "ABORT",
+            TraceTag::Nack => "NACK",
+            TraceTag::Stall => "STALL",
+            TraceTag::Preempt => "PREEMPT",
+            TraceTag::PageMove => "PAGEMOVE",
+            TraceTag::Measure => "MEASURE",
+            TraceTag::Overflow => "OVERFLOW",
+            TraceTag::Custom(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for TraceTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One traced event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Simulated time of the event.
     pub at: Cycle,
-    /// A short static tag ("BEGIN", "COMMIT", "NACK", …) for filtering.
-    pub tag: &'static str,
+    /// The structured event kind.
+    pub tag: TraceTag,
     /// Free-form detail.
     pub detail: String,
 }
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>10}] {:<8} {}", self.at.as_u64(), self.tag, self.detail)
+        write!(
+            f,
+            "[{:>10}] {:<8} {}",
+            self.at.as_u64(),
+            self.tag.as_str(),
+            self.detail
+        )
     }
 }
 
@@ -32,12 +93,12 @@ impl fmt::Display for TraceEntry {
 /// the oldest entry.
 ///
 /// ```
-/// use ltse_sim::{trace::TraceBuffer, Cycle};
+/// use ltse_sim::{trace::{TraceBuffer, TraceTag}, Cycle};
 ///
 /// let mut t = TraceBuffer::new(2);
-/// t.push(Cycle(1), "A", "first".into());
-/// t.push(Cycle(2), "B", "second".into());
-/// t.push(Cycle(3), "C", "third".into()); // evicts "A"
+/// t.push(Cycle(1), TraceTag::Custom("A"), "first".into());
+/// t.push(Cycle(2), TraceTag::Custom("B"), "second".into());
+/// t.push(Cycle(3), TraceTag::Custom("C"), "third".into()); // evicts "A"
 /// assert_eq!(t.len(), 2);
 /// assert!(t.dump().contains("second"));
 /// assert!(!t.dump().contains("first"));
@@ -60,7 +121,7 @@ impl TraceBuffer {
     }
 
     /// Records an event.
-    pub fn push(&mut self, at: Cycle, tag: &'static str, detail: String) {
+    pub fn push(&mut self, at: Cycle, tag: TraceTag, detail: String) {
         if self.capacity == 0 {
             self.dropped += 1;
             return;
@@ -93,7 +154,7 @@ impl TraceBuffer {
     }
 
     /// Retained events with a given tag.
-    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+    pub fn with_tag(&self, tag: TraceTag) -> impl Iterator<Item = &TraceEntry> {
         self.entries.iter().filter(move |e| e.tag == tag)
     }
 
@@ -115,11 +176,13 @@ impl TraceBuffer {
 mod tests {
     use super::*;
 
+    const T: TraceTag = TraceTag::Custom("T");
+
     #[test]
     fn ring_drops_oldest() {
         let mut t = TraceBuffer::new(3);
         for i in 0..10u64 {
-            t.push(Cycle(i), "T", format!("e{i}"));
+            t.push(Cycle(i), T, format!("e{i}"));
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.dropped(), 7);
@@ -131,7 +194,7 @@ mod tests {
     #[test]
     fn zero_capacity_records_nothing() {
         let mut t = TraceBuffer::new(0);
-        t.push(Cycle(1), "X", "gone".into());
+        t.push(Cycle(1), TraceTag::Custom("X"), "gone".into());
         assert!(t.is_empty());
         assert_eq!(t.dropped(), 1);
     }
@@ -139,25 +202,25 @@ mod tests {
     #[test]
     fn tag_filter() {
         let mut t = TraceBuffer::new(10);
-        t.push(Cycle(1), "NACK", "a".into());
-        t.push(Cycle(2), "COMMIT", "b".into());
-        t.push(Cycle(3), "NACK", "c".into());
-        assert_eq!(t.with_tag("NACK").count(), 2);
-        assert_eq!(t.with_tag("COMMIT").count(), 1);
-        assert_eq!(t.with_tag("ABORT").count(), 0);
+        t.push(Cycle(1), TraceTag::Nack, "a".into());
+        t.push(Cycle(2), TraceTag::Commit, "b".into());
+        t.push(Cycle(3), TraceTag::Nack, "c".into());
+        assert_eq!(t.with_tag(TraceTag::Nack).count(), 2);
+        assert_eq!(t.with_tag(TraceTag::Commit).count(), 1);
+        assert_eq!(t.with_tag(TraceTag::Abort).count(), 0);
     }
 
     #[test]
     fn exactly_at_capacity_drops_nothing() {
         let mut t = TraceBuffer::new(4);
         for i in 0..4u64 {
-            t.push(Cycle(i), "T", format!("e{i}"));
+            t.push(Cycle(i), T, format!("e{i}"));
         }
         assert_eq!(t.len(), 4);
         assert_eq!(t.dropped(), 0);
         assert!(!t.dump().contains("dropped"));
         // The next push crosses the boundary: exactly one eviction.
-        t.push(Cycle(4), "T", "e4".into());
+        t.push(Cycle(4), T, "e4".into());
         assert_eq!(t.len(), 4);
         assert_eq!(t.dropped(), 1);
         let kept: Vec<&str> = t.iter().map(|e| e.detail.as_str()).collect();
@@ -168,7 +231,7 @@ mod tests {
     fn capacity_one_keeps_only_the_latest() {
         let mut t = TraceBuffer::new(1);
         for i in 0..5u64 {
-            t.push(Cycle(i), "T", format!("e{i}"));
+            t.push(Cycle(i), T, format!("e{i}"));
         }
         assert_eq!(t.len(), 1);
         assert_eq!(t.dropped(), 4);
@@ -180,11 +243,11 @@ mod tests {
         // `with_tag` is a view; it must not disturb eviction accounting,
         // and evictions must not under-count filtered tags.
         let mut t = TraceBuffer::new(2);
-        t.push(Cycle(1), "NACK", "a".into());
-        t.push(Cycle(2), "COMMIT", "b".into());
-        t.push(Cycle(3), "NACK", "c".into()); // evicts the first NACK
-        assert_eq!(t.with_tag("NACK").count(), 1);
-        assert_eq!(t.with_tag("COMMIT").count(), 1);
+        t.push(Cycle(1), TraceTag::Nack, "a".into());
+        t.push(Cycle(2), TraceTag::Commit, "b".into());
+        t.push(Cycle(3), TraceTag::Nack, "c".into()); // evicts the first NACK
+        assert_eq!(t.with_tag(TraceTag::Nack).count(), 1);
+        assert_eq!(t.with_tag(TraceTag::Commit).count(), 1);
         assert_eq!(t.dropped(), 1);
         assert_eq!(t.len(), 2);
     }
@@ -193,12 +256,33 @@ mod tests {
     fn display_format() {
         let e = TraceEntry {
             at: Cycle(42),
-            tag: "BEGIN",
+            tag: TraceTag::Begin,
             detail: "tid=3".into(),
         };
         let s = e.to_string();
         assert!(s.contains("42"));
         assert!(s.contains("BEGIN"));
         assert!(s.contains("tid=3"));
+    }
+
+    #[test]
+    fn structured_tags_render_the_legacy_strings() {
+        // The rendered dump format predates structured tags; it must not
+        // change under them (test/tooling output stability).
+        for (tag, s) in [
+            (TraceTag::Begin, "BEGIN"),
+            (TraceTag::Commit, "COMMIT"),
+            (TraceTag::Abort, "ABORT"),
+            (TraceTag::Nack, "NACK"),
+            (TraceTag::Stall, "STALL"),
+            (TraceTag::Preempt, "PREEMPT"),
+            (TraceTag::PageMove, "PAGEMOVE"),
+            (TraceTag::Measure, "MEASURE"),
+            (TraceTag::Overflow, "OVERFLOW"),
+            (TraceTag::Custom("WEIRD"), "WEIRD"),
+        ] {
+            assert_eq!(tag.as_str(), s);
+            assert_eq!(tag.to_string(), s);
+        }
     }
 }

@@ -434,6 +434,24 @@ impl ThreadTmState {
         self.in_tx() && self.sig.conflicts_exactly(SigOp::Write, block.as_u64())
     }
 
+    /// Side-effect-free re-judgement of a conflict this thread signalled:
+    /// `Some(true)` for true sharing (the exact shadow sets agree),
+    /// `Some(false)` for pure signature aliasing, `None` when the
+    /// signatures report no conflict at all. Unlike [`Self::check_conflict`]
+    /// this never bumps the statistics cells, so the observability layer
+    /// can classify individual NACK events after the fact without
+    /// double-counting the Table 3 accounting.
+    pub fn judge_conflict(&self, op: SigOp, block: BlockAddr) -> Option<bool> {
+        if !self.in_tx() {
+            return None;
+        }
+        match self.sig.classify(op, block.as_u64()) {
+            ConflictVerdict::None => None,
+            ConflictVerdict::True => Some(true),
+            ConflictVerdict::FalsePositive => Some(false),
+        }
+    }
+
     /// CONFLICT(op, block) against this thread's signatures, classifying
     /// the answer for false-positive accounting. Returns the hardware
     /// decision.

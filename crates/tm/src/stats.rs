@@ -90,30 +90,61 @@ impl TmStats {
     }
 
     /// Merges another thread's stats into this aggregate.
+    ///
+    /// Counter additions saturate instead of wrapping/panicking: merging is
+    /// a reporting path, and a pegged counter is a better failure mode than
+    /// a crashed (or, in release, silently wrapped) aggregate.
+    ///
+    /// `other` is destructured exhaustively, so adding a field to `TmStats`
+    /// without deciding how it merges is a compile error, not a silently
+    /// dropped counter.
     pub fn merge(&mut self, other: &TmStats) {
-        self.commits += other.commits;
-        self.aborts += other.aborts;
-        self.partial_aborts += other.partial_aborts;
-        self.stalls += other.stalls;
-        self.sibling_stalls += other.sibling_stalls;
+        let TmStats {
+            commits,
+            aborts,
+            partial_aborts,
+            stalls,
+            sibling_stalls,
+            true_conflicts_signalled,
+            false_conflicts_signalled,
+            summary_true_conflicts,
+            summary_false_conflicts,
+            log_writes,
+            log_writes_suppressed,
+            wasted_cycles,
+            read_set,
+            write_set,
+            read_set_hist,
+            write_set_hist,
+            log_high_water_words,
+            work_units,
+            escapes,
+        } = other;
+        self.commits = self.commits.saturating_add(*commits);
+        self.aborts = self.aborts.saturating_add(*aborts);
+        self.partial_aborts = self.partial_aborts.saturating_add(*partial_aborts);
+        self.stalls = self.stalls.saturating_add(*stalls);
+        self.sibling_stalls = self.sibling_stalls.saturating_add(*sibling_stalls);
         self.true_conflicts_signalled
-            .set(self.true_conflicts_signalled.get() + other.true_conflicts_signalled.get());
-        self.false_conflicts_signalled
-            .set(self.false_conflicts_signalled.get() + other.false_conflicts_signalled.get());
+            .set(self.true_conflicts_signalled.get().saturating_add(true_conflicts_signalled.get()));
+        self.false_conflicts_signalled.set(
+            self.false_conflicts_signalled.get().saturating_add(false_conflicts_signalled.get()),
+        );
         self.summary_true_conflicts
-            .set(self.summary_true_conflicts.get() + other.summary_true_conflicts.get());
+            .set(self.summary_true_conflicts.get().saturating_add(summary_true_conflicts.get()));
         self.summary_false_conflicts
-            .set(self.summary_false_conflicts.get() + other.summary_false_conflicts.get());
-        self.log_writes += other.log_writes;
-        self.log_writes_suppressed += other.log_writes_suppressed;
-        self.wasted_cycles += other.wasted_cycles;
-        self.read_set.merge(&other.read_set);
-        self.write_set.merge(&other.write_set);
-        self.read_set_hist.merge(&other.read_set_hist);
-        self.write_set_hist.merge(&other.write_set_hist);
-        self.log_high_water_words = self.log_high_water_words.max(other.log_high_water_words);
-        self.work_units += other.work_units;
-        self.escapes += other.escapes;
+            .set(self.summary_false_conflicts.get().saturating_add(summary_false_conflicts.get()));
+        self.log_writes = self.log_writes.saturating_add(*log_writes);
+        self.log_writes_suppressed =
+            self.log_writes_suppressed.saturating_add(*log_writes_suppressed);
+        self.wasted_cycles = self.wasted_cycles.saturating_add(*wasted_cycles);
+        self.read_set.merge(read_set);
+        self.write_set.merge(write_set);
+        self.read_set_hist.merge(read_set_hist);
+        self.write_set_hist.merge(write_set_hist);
+        self.log_high_water_words = self.log_high_water_words.max(*log_high_water_words);
+        self.work_units = self.work_units.saturating_add(*work_units);
+        self.escapes = self.escapes.saturating_add(*escapes);
     }
 
     /// Records a committed transaction's exact set sizes.
@@ -138,30 +169,107 @@ mod tests {
         assert!((s.false_positive_pct().unwrap() - 25.0).abs() < 1e-9);
     }
 
+    /// Builds stats where every single field holds a distinct nonzero
+    /// value derived from `k`, exhaustively (adding a `TmStats` field
+    /// without extending this constructor is a compile error).
+    fn all_fields_set(k: u64) -> TmStats {
+        let s = TmStats {
+            commits: k + 1,
+            aborts: k + 2,
+            partial_aborts: k + 3,
+            stalls: k + 4,
+            sibling_stalls: k + 5,
+            true_conflicts_signalled: Cell::new(k + 6),
+            false_conflicts_signalled: Cell::new(k + 7),
+            summary_true_conflicts: Cell::new(k + 8),
+            summary_false_conflicts: Cell::new(k + 9),
+            log_writes: k + 10,
+            log_writes_suppressed: k + 11,
+            wasted_cycles: k + 12,
+            read_set: Summary::new(),
+            write_set: Summary::new(),
+            read_set_hist: Histogram::new(),
+            write_set_hist: Histogram::new(),
+            log_high_water_words: k + 13,
+            work_units: k + 14,
+            escapes: k + 15,
+        };
+        let mut s = s;
+        s.record_commit_sets(TxSetSizes {
+            read_blocks: k + 16,
+            write_blocks: k + 17,
+        });
+        s
+    }
+
     #[test]
     fn merge_adds_everything() {
-        let mut a = TmStats::new();
-        a.commits = 1;
-        a.record_commit_sets(TxSetSizes {
-            read_blocks: 10,
-            write_blocks: 5,
-        });
-        let mut b = TmStats::new();
-        b.commits = 2;
-        b.stalls = 7;
-        b.false_conflicts_signalled.set(4);
-        b.record_commit_sets(TxSetSizes {
-            read_blocks: 30,
-            write_blocks: 1,
-        });
+        let mut a = all_fields_set(100);
+        let b = all_fields_set(1000);
         a.merge(&b);
-        assert_eq!(a.commits, 3);
-        assert_eq!(a.stalls, 7);
-        assert_eq!(a.false_conflicts_signalled.get(), 4);
-        assert_eq!(a.read_set.max(), Some(30));
-        assert_eq!(a.write_set.max(), Some(5));
-        assert_eq!(a.read_set.count(), 2);
-        assert_eq!(a.read_set_hist.total(), 2);
-        assert_eq!(a.read_set_hist.percentile(100), Some(30));
+        // Destructure the merged aggregate exhaustively: a new counter that
+        // is not asserted here fails to compile, so it cannot be silently
+        // dropped from `merge` again.
+        let TmStats {
+            commits,
+            aborts,
+            partial_aborts,
+            stalls,
+            sibling_stalls,
+            true_conflicts_signalled,
+            false_conflicts_signalled,
+            summary_true_conflicts,
+            summary_false_conflicts,
+            log_writes,
+            log_writes_suppressed,
+            wasted_cycles,
+            read_set,
+            write_set,
+            read_set_hist,
+            write_set_hist,
+            log_high_water_words,
+            work_units,
+            escapes,
+        } = a;
+        assert_eq!(commits, 101 + 1001);
+        assert_eq!(aborts, 102 + 1002);
+        assert_eq!(partial_aborts, 103 + 1003);
+        assert_eq!(stalls, 104 + 1004);
+        assert_eq!(sibling_stalls, 105 + 1005);
+        assert_eq!(true_conflicts_signalled.get(), 106 + 1006);
+        assert_eq!(false_conflicts_signalled.get(), 107 + 1007);
+        assert_eq!(summary_true_conflicts.get(), 108 + 1008);
+        assert_eq!(summary_false_conflicts.get(), 109 + 1009);
+        assert_eq!(log_writes, 110 + 1010);
+        assert_eq!(log_writes_suppressed, 111 + 1011);
+        assert_eq!(wasted_cycles, 112 + 1012);
+        assert_eq!(read_set.count(), 2);
+        assert_eq!(read_set.min(), Some(116));
+        assert_eq!(read_set.max(), Some(1016));
+        assert_eq!(write_set.count(), 2);
+        assert_eq!(write_set.min(), Some(117));
+        assert_eq!(write_set.max(), Some(1017));
+        assert_eq!(read_set_hist.total(), 2);
+        assert_eq!(read_set_hist.percentile(100), Some(1016));
+        assert_eq!(write_set_hist.total(), 2);
+        assert_eq!(write_set_hist.percentile(100), Some(1017));
+        assert_eq!(log_high_water_words, 1013, "high water merges via max");
+        assert_eq!(work_units, 114 + 1014);
+        assert_eq!(escapes, 115 + 1015);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = all_fields_set(0);
+        a.commits = u64::MAX - 1;
+        a.wasted_cycles = u64::MAX;
+        a.true_conflicts_signalled.set(u64::MAX);
+        let b = all_fields_set(0);
+        a.merge(&b);
+        assert_eq!(a.commits, u64::MAX, "saturates at the ceiling");
+        assert_eq!(a.wasted_cycles, u64::MAX);
+        assert_eq!(a.true_conflicts_signalled.get(), u64::MAX);
+        // Untouched fields still merge normally.
+        assert_eq!(a.aborts, 2 + 2);
     }
 }

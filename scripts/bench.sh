@@ -6,6 +6,8 @@
 #                          event queue, end-to-end counter)
 #   BENCH_pipeline.json  — pipeline-level benchmarks (run cache cold vs
 #                          warm, sequential vs parallel exploration)
+#   BENCH_obs.json       — observability-layer overhead (obs-off vs obs-on
+#                          end to end, plus metric/span primitive costs)
 #
 # Usage:
 #   scripts/bench.sh                      # full run (~2-3 min), overwrites both files
@@ -25,7 +27,7 @@ outdir="${LTSE_BENCH_DIR:-$PWD}"
 # paths to the repo root.
 case "$outdir" in /*) ;; *) outdir="$PWD/$outdir" ;; esac
 
-for bench in hotpath pipeline; do
+for bench in hotpath pipeline obs; do
     out="$outdir/BENCH_$bench.json"
     LTSE_BENCH_JSON="$out" cargo bench --bench "$bench"
     echo "bench results written to $out"

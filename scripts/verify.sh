@@ -19,7 +19,7 @@ LTSE_EXPLORE_SCHEDULES=300 cargo test -q --release --test integration_explore
 t_exp1=$(date +%s%N)
 echo "ok: exploration smoke in $(( (t_exp1 - t_exp0) / 1000000 )) ms"
 
-echo "== bench smoke: hotpath + pipeline suites in quick mode =="
+echo "== bench smoke: hotpath + pipeline + obs suites in quick mode =="
 # Asserts both suites run and emit valid JSON with the expected shape; no
 # timing thresholds — CI machines are too noisy for that.
 bench_dir=$(mktemp -d)
@@ -31,8 +31,9 @@ d = sys.argv[1]
 expected_speedups = {
     "hotpath": {"sig_membership_bitselect", "sig_membership_bloom", "event_queue_churn"},
     "pipeline": {"cache_warm_vs_cold", "explore_parallel"},
+    "obs": {"obs_off_vs_on"},
 }
-min_cases = {"hotpath": 7, "pipeline": 4}
+min_cases = {"hotpath": 7, "pipeline": 4, "obs": 4}
 for bench, speedups in expected_speedups.items():
     with open(os.path.join(d, f"BENCH_{bench}.json")) as f:
         doc = json.load(f)
@@ -117,5 +118,44 @@ fi
 ms_cold=$(( (t_cold1 - t_cold0) / 1000000 ))
 ms_warm=$(( (t_warm1 - t_cold1) / 1000000 ))
 echo "ok: warm cache hit everything, stdout byte-identical (cold ${ms_cold} ms, warm ${ms_warm} ms)"
+
+echo "== stats-json smoke: emit, validate schema, cross-jobs/cache byte-identity =="
+stats_dir=$(mktemp -d)
+trap 'rm -f "$out1" "$out4" "$err2"; rm -rf "$bench_dir" "$cache_dir" "$stats_dir"' EXIT
+
+# The export must not disturb stdout, and its bytes must not depend on the
+# worker count or the cache configuration.
+"$repro" --quick --jobs 1 --stats-json "$stats_dir/stats_j1.json" table1 >"$out4" 2>/dev/null
+"$repro" --quick table1 >"$out1" 2>/dev/null
+if ! cmp -s "$out1" "$out4"; then
+    echo "FAIL: --stats-json changed stdout" >&2
+    exit 1
+fi
+"$repro" --quick --jobs 4 --stats-json "$stats_dir/stats_j4.json" table1 >/dev/null 2>&1
+"$repro" --quick --jobs 4 --cache-dir "$cache_dir" --stats-json "$stats_dir/stats_cache.json" table1 >/dev/null 2>&1
+if ! cmp -s "$stats_dir/stats_j1.json" "$stats_dir/stats_j4.json"; then
+    echo "FAIL: stats-json differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+if ! cmp -s "$stats_dir/stats_j1.json" "$stats_dir/stats_cache.json"; then
+    echo "FAIL: stats-json differs cache-on vs cache-off" >&2
+    exit 1
+fi
+python3 - "$stats_dir/stats_j1.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "ltse.stats.v1", doc.get("schema")
+rows = doc["experiments"]
+assert len(rows) == 13, f"expected 13 experiment rows, got {len(rows)}"
+for row in rows:
+    obs, tm = row["obs"], row["tm"]
+    assert all(row["reconciled"].values()), (row["experiment"], row["reconciled"])
+    assert sum(obs["stalls"].values()) == tm["stalls"], row["experiment"]
+    assert sum(obs["aborts"].values()) == tm["aborts"], row["experiment"]
+    assert obs["spans"]["committed"] == tm["commits"], row["experiment"]
+print(f"ok: stats-json schema-tagged, {len(rows)} rows, all attributions reconcile")
+EOF
+echo "ok: stats-json deterministic across jobs and cache configurations"
 
 echo "== verify OK =="

@@ -28,7 +28,10 @@ fn budget(default: usize) -> usize {
 }
 
 /// Runs one schedule of a freshly built system and returns `Err` with every
-/// oracle violation if the interleaving broke serializability.
+/// oracle violation if the interleaving broke serializability. When the
+/// system was built with tracing enabled, a failing schedule automatically
+/// carries its protocol-event trace in the error — the shrunk reproducer
+/// then arrives with the event history that produced it.
 fn check_one(chooser: &mut ScheduleChooser, mut build: impl FnMut() -> System) -> Result<(), String> {
     let mut s = build();
     s.run_explored(chooser, WINDOW, HORIZON)
@@ -37,7 +40,13 @@ fn check_one(chooser: &mut ScheduleChooser, mut build: impl FnMut() -> System) -
     if errs.is_empty() {
         Ok(())
     } else {
-        Err(errs.join("; "))
+        let mut msg = errs.join("; ");
+        let dump = s.trace_dump();
+        if !dump.is_empty() {
+            msg.push_str("\n-- trace of the failing schedule --\n");
+            msg.push_str(&dump);
+        }
+        Err(msg)
     }
 }
 
@@ -70,6 +79,7 @@ fn opposite_order(fault: bool) -> System {
         .seed(3)
         .check_serializability(true)
         .fault_skip_one_undo(fault)
+        .trace(2048)
         .build();
     let (a, b) = (WordAddr(0), WordAddr(8));
     for t in 0..4 {
@@ -180,6 +190,16 @@ fn seeded_undo_bug_is_caught_and_shrunk() {
         failure.message.contains("diverge") || failure.message.contains("observed"),
         "failure should be a replay divergence, got: {}",
         failure.message
+    );
+    // Tracing was on, so the failure must carry the event history that
+    // produced it — structured tags rendered for human consumption.
+    assert!(
+        failure.message.contains("-- trace of the failing schedule --"),
+        "failing schedule should dump its trace automatically"
+    );
+    assert!(
+        failure.message.contains("COMMIT") && failure.message.contains("ABORT"),
+        "trace should show the protocol events around the divergence"
     );
     // The minimized schedule is a genuine reproducer.
     let mut chooser = ScheduleChooser::replay(failure.schedule.choices.clone());
