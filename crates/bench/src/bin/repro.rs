@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [--quick] [--csv] [--jobs N] [--cache-dir DIR] [--no-cache]
-//!       [--stats-json PATH] <subcommand>
+//!       [--stats-json PATH] [--backend sim|stm] <subcommand>
 //!
 //! Subcommands:
 //!   table1         System model parameters (paper Table 1)
@@ -43,6 +43,15 @@
 //! provably reconcile with the aggregate counters. The document is produced
 //! sequentially outside the pool and the cache, so its bytes are identical
 //! across `--jobs` values and cache configurations, and stdout is unchanged.
+//!
+//! `--backend stm` targets the real-concurrency TL2 STM backend instead of
+//! the cycle-level simulator: it runs every Table-2 workload on both
+//! engines and prints a side-by-side comparison (simulated cycles vs. real
+//! wall clock). Because the STM numbers are wall-clock from real OS
+//! threads, that table is *not* byte-deterministic and the run bypasses
+//! the worker pool and the cache; only the `table2` and `all` subcommands
+//! are meaningful there. The default (`--backend sim`, or no flag) leaves
+//! every other invocation byte-for-byte unchanged.
 //!
 //! `--cache-dir DIR` (or the `LTSE_CACHE` environment variable) enables the
 //! persistent run cache: repeated sweeps with identical inputs are served
@@ -148,6 +157,32 @@ fn parse_stats_json(args: &[String]) -> Option<String> {
     None
 }
 
+/// Accepts `--backend KIND` and `--backend=KIND`; defaults to the
+/// simulator, keeping flag-less stdout untouched.
+fn parse_backend(args: &[String]) -> ltse_workloads::BackendKind {
+    let bad = |v: &str| -> ! {
+        eprintln!("error: --backend: {v}");
+        std::process::exit(2);
+    };
+    for (i, a) in args.iter().enumerate() {
+        let value = if let Some(v) = a.strip_prefix("--backend=") {
+            Some(v.to_string())
+        } else if a == "--backend" {
+            Some(
+                args.get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| bad("requires a value (sim|stm)")),
+            )
+        } else {
+            None
+        };
+        if let Some(v) = value {
+            return v.parse().unwrap_or_else(|e: String| bad(&e));
+        }
+    }
+    ltse_workloads::BackendKind::Sim
+}
+
 fn parse_jobs(args: &[String]) -> Option<usize> {
     // Accept `--jobs N` and `--jobs=N`. A missing or non-numeric value is a
     // usage error, not something to silently ignore.
@@ -194,13 +229,30 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--jobs" || *a == "--cache-dir" || *a == "--stats-json" {
+            if *a == "--jobs" || *a == "--cache-dir" || *a == "--stats-json" || *a == "--backend"
+            {
                 skip_next = true;
             }
             !a.starts_with("--") && !skip_next
         })
         .map(String::as_str)
         .unwrap_or("all");
+
+    // The STM backend has exactly one table: the sim-vs-stm differential
+    // comparison over the Table-2 workloads. It runs sequentially (real
+    // wall clock — no pool, no cache) and exits here so the simulator-only
+    // machinery below (stats-json, cache gc) never engages.
+    if parse_backend(&args) == ltse_workloads::BackendKind::Stm {
+        let ok = match cmd {
+            "table2" | "all" => emit(stm_compare(&scale), |r| render::render_stm(r)),
+            other => {
+                eprintln!("subcommand `{other}` is simulator-only; --backend stm supports: table2 all");
+                std::process::exit(2);
+            }
+        };
+        report_timings();
+        std::process::exit(if ok { 0 } else { 1 });
+    }
 
     let run_one = |name: &str| -> bool {
         let ok = match name {

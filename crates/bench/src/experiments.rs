@@ -11,10 +11,10 @@ use logtm_se::{CoherenceKind, Cycle, SignatureKind, SystemBuilder};
 use ltse_sim::config::seed_sequence;
 use ltse_sim::parallel::RunSpec;
 use ltse_sim::stats::SampleSet;
-use ltse_workloads::{run_benchmark, Benchmark, RunParams, SyncMode};
+use ltse_workloads::{run_benchmark, run_on_backend, BackendKind, Benchmark, RunParams, SyncMode};
 
 use crate::cache::{fp_params, run_fp};
-use crate::runner::{sweep, sweep_ok, SweepError};
+use crate::runner::{sweep, sweep_ok, FailedRun, SweepError};
 
 /// How big each experiment runs: the trade-off between statistical quality
 /// and wall-clock time.
@@ -1110,6 +1110,118 @@ pub fn virtualization_overhead(scale: &ExperimentScale) -> Result<Vec<VirtRow>, 
     sweep("virtualization_overhead", specs)
 }
 
+// ---------------------------------------------------------------------
+// STM backend: real-concurrency TL2 vs. the cycle-level simulator
+// ---------------------------------------------------------------------
+
+/// One Table-2 workload run on both TM backends.
+///
+/// The simulator columns are deterministic (simulated cycles); the STM
+/// columns are real wall clock from real OS threads and therefore vary run
+/// to run. The two throughput numbers live in incomparable units — the
+/// point of the row is that *the same program stream* completes the same
+/// units of work and commits on both engines, not that the numbers race.
+#[derive(Debug, Clone)]
+pub struct StmRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Worker threads on both backends.
+    pub threads: u32,
+    /// Units of work completed (identical on both backends by construction).
+    pub units: u64,
+    /// Simulator: total simulated cycles.
+    pub sim_cycles: u64,
+    /// Simulator: committed transactions.
+    pub sim_commits: u64,
+    /// Simulator: aborts.
+    pub sim_aborts: u64,
+    /// Simulator throughput: units per 1000 simulated cycles.
+    pub sim_units_per_kcycle: f64,
+    /// STM: wall-clock milliseconds (nondeterministic).
+    pub stm_wall_ms: f64,
+    /// STM: committed top-level transactions.
+    pub stm_commits: u64,
+    /// STM: aborted attempts (each one retried).
+    pub stm_aborts: u64,
+    /// STM throughput: units per wall-clock millisecond (nondeterministic).
+    pub stm_units_per_ms: f64,
+}
+
+/// Runs every Table-2 workload in TM mode on the cycle-level simulator and
+/// on the TL2 STM backend, side by side.
+///
+/// Unlike the sweep experiments this runs sequentially and bypasses both
+/// the worker pool and the persistent cache: the STM side measures real
+/// wall clock on real threads, so sharing cores with sibling runs (or
+/// serving a stale cached time) would corrupt the one number the
+/// experiment exists to report.
+pub fn stm_compare(scale: &ExperimentScale) -> Result<Vec<StmRow>, SweepError> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    let mut runs = 0usize;
+    for benchmark in Benchmark::all() {
+        let p = params(scale, benchmark, SyncMode::Tm, SignatureKind::Perfect, seed);
+        runs += 2;
+        let run = |kind: BackendKind| {
+            run_on_backend(kind, &p).map_err(|reason| FailedRun {
+                label: format!("stm_compare/{benchmark}/{kind}"),
+                reason,
+            })
+        };
+        let (sim, stm) = match (run(BackendKind::Sim), run(BackendKind::Stm)) {
+            (Ok(sim), Ok(stm)) => (sim, stm),
+            (sim, stm) => {
+                failures.extend(sim.err());
+                failures.extend(stm.err());
+                continue;
+            }
+        };
+        if sim.work_units != stm.work_units {
+            failures.push(FailedRun {
+                label: format!("stm_compare/{benchmark}"),
+                reason: format!(
+                    "work-unit mismatch: sim completed {} units, stm {}",
+                    sim.work_units, stm.work_units
+                ),
+            });
+            continue;
+        }
+        let sim_cycles = sim.sim_cycles.unwrap_or(0);
+        let stm_wall_ms = stm.wall.as_secs_f64() * 1e3;
+        rows.push(StmRow {
+            benchmark,
+            threads: p.threads,
+            units: sim.work_units,
+            sim_cycles,
+            sim_commits: sim.commits,
+            sim_aborts: sim.aborts,
+            sim_units_per_kcycle: if sim_cycles > 0 {
+                sim.work_units as f64 * 1e3 / sim_cycles as f64
+            } else {
+                0.0
+            },
+            stm_wall_ms,
+            stm_commits: stm.commits,
+            stm_aborts: stm.aborts,
+            stm_units_per_ms: if stm_wall_ms > 0.0 {
+                stm.work_units as f64 / stm_wall_ms
+            } else {
+                0.0
+            },
+        });
+    }
+    if failures.is_empty() {
+        Ok(rows)
+    } else {
+        Err(SweepError {
+            experiment: "stm_compare",
+            runs,
+            failures,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1156,6 +1268,24 @@ mod tests {
         // Perfect signatures can never produce false positives.
         for row in rows.iter().filter(|r| r.signature == SignatureKind::Perfect) {
             assert!(matches!(row.false_positive_pct, None | Some(0.0)));
+        }
+    }
+
+    #[test]
+    fn stm_compare_completes_the_same_units_on_both_backends() {
+        let scale = tiny();
+        let rows = stm_compare(&scale).expect("both backends run clean");
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert_eq!(
+                row.units,
+                scale.threads as u64 * scale.units_per_thread,
+                "{}",
+                row.benchmark
+            );
+            assert!(row.sim_cycles > 0, "{}", row.benchmark);
+            assert!(row.sim_commits > 0 && row.stm_commits > 0, "{}", row.benchmark);
+            assert!(row.stm_wall_ms >= 0.0 && row.stm_units_per_ms >= 0.0);
         }
     }
 

@@ -2,8 +2,48 @@
 
 use crate::experiments::{
     Fig4Row, LogFilterRow, MultiCmpRow, NestingRow, PolicyRow, SmtRow, SnoopRow, StickyRow,
-    SweepRow, Table2Row, Table3Row, VictimRow, VirtRow,
+    StmRow, SweepRow, Table2Row, Table3Row, VictimRow, VirtRow,
 };
+
+/// Renders the STM-vs-simulator backend comparison. The simulator columns
+/// are deterministic; the `StmWall`/`Stm u/ms` columns are real wall clock
+/// from real threads and vary run to run (which is why `repro` only prints
+/// this table when `--backend stm` is asked for explicitly).
+pub fn render_stm(rows: &[StmRow]) -> String {
+    let mut out = String::new();
+    out.push_str("STM backend: TL2 software TM vs. cycle-level simulator, same workloads\n");
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>6} {:>12} {:>8} {:>8} {:>9} {:>10} {:>8} {:>8} {:>9}\n",
+        "Benchmark",
+        "Threads",
+        "Units",
+        "SimCycles",
+        "SimTxns",
+        "SimAbrt",
+        "Sim u/kc",
+        "StmWallMs",
+        "StmTxns",
+        "StmAbrt",
+        "Stm u/ms"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>6} {:>12} {:>8} {:>8} {:>9.3} {:>10.3} {:>8} {:>8} {:>9.1}\n",
+            r.benchmark.name(),
+            r.threads,
+            r.units,
+            r.sim_cycles,
+            r.sim_commits,
+            r.sim_aborts,
+            r.sim_units_per_kcycle,
+            r.stm_wall_ms,
+            r.stm_commits,
+            r.stm_aborts,
+            r.stm_units_per_ms
+        ));
+    }
+    out
+}
 
 /// Renders Figure 4 as a table of speedups (mean ± 95 % CI half-width).
 pub fn render_figure4(rows: &[Fig4Row]) -> String {
@@ -387,6 +427,28 @@ mod tests {
         let t2 = render_table2(&crate::table2(&tiny).expect("sweep"));
         assert!(t2.contains("Table 2"));
         assert!(t2.contains("tk14.O"));
+    }
+
+    #[test]
+    fn stm_render_lists_every_column_once_per_row() {
+        let row = StmRow {
+            benchmark: ltse_workloads::Benchmark::Mp3d,
+            threads: 4,
+            units: 8,
+            sim_cycles: 120_000,
+            sim_commits: 40,
+            sim_aborts: 2,
+            sim_units_per_kcycle: 0.066,
+            stm_wall_ms: 1.25,
+            stm_commits: 44,
+            stm_aborts: 3,
+            stm_units_per_ms: 6.4,
+        };
+        let text = render_stm(&[row]);
+        assert!(text.starts_with("STM backend:"));
+        assert_eq!(text.lines().count(), 3, "title + header + one row");
+        assert!(text.contains("Mp3d"));
+        assert!(text.contains("120000"));
     }
 
     #[test]

@@ -80,11 +80,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod builder;
 mod program;
 mod report;
 mod system;
 
+pub use backend::{BackendReport, TmBackend};
 pub use builder::SystemBuilder;
 pub use program::{FnProgram, Op, ProgCtx, ScriptOp, ThreadProgram, TxScript};
 pub use report::RunReport;

@@ -1,0 +1,51 @@
+//! # ltse-stm: a real-concurrency STM backend for the LogTM-SE workloads
+//!
+//! The simulator in `logtm-se` evaluates the paper's *hardware* TM design
+//! cycle by cycle, deterministically, on one OS thread. This crate is its
+//! software twin: a TL2-style software transactional memory (Dice, Shalev,
+//! Shavit, DISC 2006) that executes the very same [`logtm_se::ThreadProgram`]
+//! workloads on real OS threads —
+//!
+//! * a **global version clock** ([`Stm`]) advanced by every writer commit,
+//! * **striped versioned write-locks** mapping words to lock stripes,
+//! * **lazy write buffering** with commit-time **read-set validation**
+//!   ([`Tx`]),
+//! * **bounded retry with randomized backoff**, escalating to a serial
+//!   fallback token that guarantees progress ([`StmConfig::max_retries`]).
+//!
+//! Running the same workloads through two independently implemented TMs —
+//! one eager/hardware-modelled, one lazy/software/really-concurrent — and
+//! replaying both histories through the same
+//! [`ltse_mem::SerializabilityOracle`] makes each implementation a
+//! differential test of the other: a bug in either surfaces as a read-value
+//! or final-state divergence against the sequential replay.
+//!
+//! Entry points: [`StmBuilder`] → [`StmSystem`] (mirrors the simulator's
+//! `SystemBuilder` → `System`), or the `TmBackend` trait in `logtm-se` for
+//! code that must be generic over the two backends.
+//!
+//! ```
+//! use ltse_stm::StmBuilder;
+//! use logtm_se::{TxScript, WordAddr};
+//!
+//! let mut sys = StmBuilder::new().seed(1).check_serializability(true).build();
+//! for _ in 0..2 {
+//!     sys.add_thread(Box::new(TxScript::counter(WordAddr(0), 100)));
+//! }
+//! let report = sys.run().expect("run completes");
+//! assert_eq!(sys.read_word(WordAddr(0)), 200, "atomicity held");
+//! assert_eq!(report.commits, 200);
+//! assert!(sys.finish_checks().is_empty(), "history serializes");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod core;
+mod exec;
+mod table;
+
+pub use crate::core::{CommitInfo, Conflict, SerialToken, Stm, StmConfig, Tx};
+pub use exec::{StmBuilder, StmError, StmReport, StmSystem};
+pub use table::{Table, TableFull};

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod berkeleydb;
 mod cholesky;
 mod dist;
@@ -62,6 +63,7 @@ mod radiosity;
 mod raytrace;
 mod spec;
 
+pub use backend::{build_backend, run_on_backend, BackendKind};
 pub use driver::{BodyOp, CsProgram, Section, SectionSource, SyncMode};
 pub use locks::{BarrierDriver, LockDriver, LockOutcome, TicketLockDriver};
 pub use micro::{HotColdArray, RepeatedWriter, SharedCounter};

@@ -8,6 +8,8 @@
 #                          warm, sequential vs parallel exploration)
 #   BENCH_obs.json       — observability-layer overhead (obs-off vs obs-on
 #                          end to end, plus metric/span primitive costs)
+#   BENCH_stm.json       — sim-vs-STM wall-clock comparison on Table-2
+#                          workloads (real threads; host-speed numbers)
 #
 # Usage:
 #   scripts/bench.sh                      # full run (~2-3 min), overwrites both files
@@ -27,7 +29,7 @@ outdir="${LTSE_BENCH_DIR:-$PWD}"
 # paths to the repo root.
 case "$outdir" in /*) ;; *) outdir="$PWD/$outdir" ;; esac
 
-for bench in hotpath pipeline obs; do
+for bench in hotpath pipeline obs stm; do
     out="$outdir/BENCH_$bench.json"
     LTSE_BENCH_JSON="$out" cargo bench --bench "$bench"
     echo "bench results written to $out"

@@ -19,7 +19,15 @@ LTSE_EXPLORE_SCHEDULES=300 cargo test -q --release --test integration_explore
 t_exp1=$(date +%s%N)
 echo "ok: exploration smoke in $(( (t_exp1 - t_exp0) / 1000000 )) ms"
 
-echo "== bench smoke: hotpath + pipeline + obs suites in quick mode =="
+echo "== stm smoke: differential STM-vs-oracle run =="
+# A reduced case budget keeps this under ~30 s while still running real
+# multi-threaded STM transactions through the serializability oracle.
+t_stm0=$(date +%s%N)
+LTSE_STM_CASES=60 cargo test -q --release --test integration_stm
+t_stm1=$(date +%s%N)
+echo "ok: stm differential smoke in $(( (t_stm1 - t_stm0) / 1000000 )) ms"
+
+echo "== bench smoke: hotpath + pipeline + obs + stm suites in quick mode =="
 # Asserts both suites run and emit valid JSON with the expected shape; no
 # timing thresholds — CI machines are too noisy for that.
 bench_dir=$(mktemp -d)
@@ -32,8 +40,9 @@ expected_speedups = {
     "hotpath": {"sig_membership_bitselect", "sig_membership_bloom", "event_queue_churn"},
     "pipeline": {"cache_warm_vs_cold", "explore_parallel"},
     "obs": {"obs_off_vs_on"},
+    "stm": {"stm_vs_sim_berkeleydb", "stm_vs_sim_raytrace", "stm_vs_sim_mp3d"},
 }
-min_cases = {"hotpath": 7, "pipeline": 4, "obs": 4}
+min_cases = {"hotpath": 7, "pipeline": 4, "obs": 4, "stm": 6}
 for bench, speedups in expected_speedups.items():
     with open(os.path.join(d, f"BENCH_{bench}.json")) as f:
         doc = json.load(f)
@@ -85,6 +94,20 @@ if [ "$cores" -ge 4 ]; then
 else
     echo "note: only $cores core(s) available; skipping speedup check"
 fi
+
+echo "== stm backend smoke: repro --quick --backend stm table2 =="
+"$repro" --quick --backend stm table2 >"$out4" 2>/dev/null
+if ! grep -q "^STM backend:" "$out4"; then
+    echo "FAIL: --backend stm did not print the comparison table" >&2
+    head -5 "$out4" >&2
+    exit 1
+fi
+stm_rows=$(wc -l <"$out4")
+if [ "$stm_rows" -ne 7 ]; then
+    echo "FAIL: expected 7 lines (title + header + 5 benchmarks), got $stm_rows" >&2
+    exit 1
+fi
+echo "ok: stm backend ran all 5 Table-2 workloads against the simulator"
 
 echo "== cache smoke: repro --quick twice into a fresh cache dir =="
 cache_dir=$(mktemp -d)
