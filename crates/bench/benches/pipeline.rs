@@ -156,7 +156,7 @@ fn main() {
         seed: 0xA11CE,
         ..ExploreConfig::with_budget(budget)
     };
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpus = harness::detected_cpus();
     let jobs = effective_jobs(None).clamp(2, 8);
     if cpus < 2 {
         eprintln!(

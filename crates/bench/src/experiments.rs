@@ -191,7 +191,7 @@ pub fn smt_comparison(scale: &ExperimentScale) -> Result<Vec<SmtRow>, SweepError
     let mut specs = Vec::new();
     for benchmark in [Benchmark::Mp3d, Benchmark::BerkeleyDb] {
         for (machine, n_cores, smt, grid) in
-            [("16x2 SMT", 16u8, 2u8, (4usize, 4usize)), ("32x1", 32, 1, (6, 6))]
+            [("16x2 SMT", 16u16, 2u8, (4usize, 4usize)), ("32x1", 32, 1, (6, 6))]
         {
             let fp = run_fp("smt_comparison")
                 .feed(&benchmark)

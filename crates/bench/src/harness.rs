@@ -84,6 +84,33 @@ fn format_ms(secs: f64) -> String {
     format!("{:.3}", secs * 1e3)
 }
 
+/// Detected CPU count for bench metadata (`"cpus"` in the JSON documents).
+///
+/// `std::thread::available_parallelism` respects affinity masks and cgroup
+/// quotas, which is right for sizing worker pools but under-reports the
+/// machine when a runner pins the bench process — `BENCH_pipeline.json` was
+/// recording `"cpus": 1` on multi-core hosts. For *metadata* we want the
+/// larger of that and the `/proc/cpuinfo` processor count, with an
+/// `LTSE_BENCH_CPUS` override for platforms without procfs.
+pub fn detected_cpus() -> usize {
+    if let Some(n) = std::env::var("LTSE_BENCH_CPUS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| {
+            s.lines()
+                .filter(|l| l.starts_with("processor"))
+                .count()
+        })
+        .unwrap_or(0);
+    avail.max(cpuinfo).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +126,14 @@ mod tests {
     #[test]
     fn format_is_milliseconds() {
         assert_eq!(format_ms(0.012345), "12.345");
+    }
+
+    #[test]
+    fn detected_cpus_is_at_least_available_parallelism() {
+        if std::env::var("LTSE_BENCH_CPUS").is_err() {
+            let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+            assert!(detected_cpus() >= avail);
+        }
+        assert!(detected_cpus() >= 1);
     }
 }

@@ -94,8 +94,8 @@ pub use system::{RunError, System};
 
 // Re-export the vocabulary types users need.
 pub use ltse_mem::{
-    AccessKind, Asid, BlockAddr, CacheConfig, CoherenceKind, CtxId, LatencyConfig, MemConfig,
-    PageId, WordAddr,
+    AccessKind, Asid, BlockAddr, CacheConfig, CoherenceKind, CoreId, CtxId, LatencyConfig,
+    MemConfig, PageId, WordAddr, MAX_CORES,
 };
 pub use ltse_mem::SerializabilityOracle;
 pub use ltse_sig::SignatureKind;

@@ -23,6 +23,9 @@ pub struct RunReport {
     pub os: OsStats,
     /// Threads that ran to completion.
     pub threads_completed: usize,
+    /// Total simulator events dispatched — the denominator for per-event
+    /// cost in the scale sweeps (`BENCH_scale.json`).
+    pub events_dispatched: u64,
     /// Structured attribution data (stall/abort causes, NACK pairs,
     /// detection paths, per-thread cycle breakdowns, transaction spans).
     /// `None` unless the run enabled
@@ -77,6 +80,7 @@ mod tests {
             mem: MemStats::new(),
             os: OsStats::default(),
             threads_completed: 0,
+            events_dispatched: 0,
             obs: None,
         };
         assert_eq!(r.throughput_per_kcycle(), 0.0);
@@ -93,6 +97,7 @@ mod tests {
             mem: MemStats::new(),
             os: OsStats::default(),
             threads_completed: 1,
+            events_dispatched: 0,
             obs: None,
         };
         assert!((r.throughput_per_kcycle() - 5.0).abs() < 1e-12);

@@ -182,7 +182,15 @@ impl System {
             limits: b.limits,
             preemption: b.preemption,
             threads: Vec::new(),
-            queue: EventQueue::new(),
+            // Size the calendar window from the context count: bigger
+            // systems keep more events in flight over longer latency tails,
+            // and a wider window keeps them off the heap fallback. 256-core
+            // × 2-SMT lands at 4096 buckets (32 KB of occupancy+ring).
+            queue: EventQueue::with_buckets(
+                (b.mem.n_ctxs() as usize * 8)
+                    .next_power_of_two()
+                    .clamp(ltse_sim::DEFAULT_BUCKETS, 4096),
+            ),
             run_queue: VecDeque::new(),
             page_tables: HashMap::new(),
             // Relocation targets live far above workload data but below the
@@ -391,6 +399,7 @@ impl System {
             mem: self.mem.stats().clone(),
             os: self.os.stats.clone(),
             threads_completed: self.finished,
+            events_dispatched: self.events_dispatched,
             obs: self.obs.as_deref().map(ObsCore::report),
         }
     }

@@ -60,12 +60,12 @@ mod system;
 
 pub use addr::{Asid, BlockAddr, PageId, WordAddr, BLOCKS_PER_PAGE, BLOCK_BYTES, WORDS_PER_BLOCK};
 pub use cache::{CacheConfig, SetAssocCache};
-pub use dir::{DirEntry, ForwardTargets, SharerIter};
+pub use dir::{CoreId, DirEntry, ForwardTargets, SharerIter, SharerSet, MAX_CORES};
 pub use latency::LatencyConfig;
 pub use network::Grid;
 pub use oracle::{AccessKind, ConflictOracle, NullOracle, SerializabilityOracle};
 pub use stats::MemStats;
 pub use store::MemStore;
 pub use system::{
-    AccessDone, AccessOutcome, CoherenceKind, CoreId, CtxId, DataSource, MemConfig, MemorySystem,
+    AccessDone, AccessOutcome, CoherenceKind, CtxId, DataSource, MemConfig, MemorySystem,
 };

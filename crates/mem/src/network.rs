@@ -65,12 +65,14 @@ impl Grid {
     }
 
     /// Latency of a broadcast from `from` to every other node, modelled as
-    /// the worst single destination (fan-out happens in parallel).
+    /// the worst single destination (fan-out happens in parallel). The
+    /// farthest node is always a corner, so this is O(1) — it used to scan
+    /// every node, which showed up hot on 256-core directory-loss paths.
     pub fn broadcast_latency(&self, from: usize) -> Cycle {
-        (0..self.nodes())
-            .map(|n| self.latency(from, n))
-            .max()
-            .unwrap_or(Cycle::ZERO)
+        debug_assert!(from < self.nodes());
+        let (fx, fy) = (from % self.width, from / self.width);
+        let hops = fx.max(self.width - 1 - fx) + fy.max(self.height - 1 - fy);
+        Cycle(hops as u64 * self.link.as_u64())
     }
 
     /// The farthest round trip on the mesh, a useful upper bound in tests.
@@ -107,6 +109,20 @@ mod tests {
         let g = Grid::new(4, 4, Cycle(3));
         assert_eq!(g.broadcast_latency(0), Cycle(18)); // to node 15
         assert_eq!(g.broadcast_latency(5), Cycle(12)); // center-ish node
+    }
+
+    #[test]
+    fn broadcast_matches_full_scan() {
+        for (w, h) in [(4, 4), (8, 8), (12, 12), (16, 16), (5, 3), (1, 7)] {
+            let g = Grid::new(w, h, Cycle(3));
+            for from in 0..g.nodes() {
+                let scanned = (0..g.nodes())
+                    .map(|n| g.latency(from, n))
+                    .max()
+                    .unwrap();
+                assert_eq!(g.broadcast_latency(from), scanned, "{w}x{h} from {from}");
+            }
+        }
     }
 
     #[test]

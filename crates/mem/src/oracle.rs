@@ -46,7 +46,7 @@ pub trait ConflictOracle {
     /// not be reported.
     fn check_core(
         &self,
-        core: u8,
+        core: crate::dir::CoreId,
         kind: AccessKind,
         block: BlockAddr,
         requester_ctx: u32,
@@ -56,13 +56,13 @@ pub trait ConflictOracle {
     /// included) consider `block` transactional? Controls the sticky-state
     /// decision on L1 eviction and the broadcast-needed decision on L2
     /// eviction.
-    fn block_is_transactional_hw(&self, core: u8, block: BlockAddr) -> bool;
+    fn block_is_transactional_hw(&self, core: crate::dir::CoreId, block: BlockAddr) -> bool;
 
     /// Does any active transaction on `core` *exactly* (shadow sets, no
     /// false positives) hold `block` in its read- or write-set? Used only
     /// for the paper's Result 4 victimization statistics, never for
     /// protocol decisions.
-    fn block_is_transactional_exact(&self, core: u8, block: BlockAddr) -> bool;
+    fn block_is_transactional_exact(&self, core: crate::dir::CoreId, block: BlockAddr) -> bool;
 }
 
 /// An oracle with no transactions anywhere: nothing conflicts, nothing is
@@ -74,7 +74,7 @@ pub struct NullOracle;
 impl ConflictOracle for NullOracle {
     fn check_core(
         &self,
-        _core: u8,
+        _core: crate::dir::CoreId,
         _kind: AccessKind,
         _block: BlockAddr,
         _requester_ctx: u32,
@@ -82,11 +82,11 @@ impl ConflictOracle for NullOracle {
         None
     }
 
-    fn block_is_transactional_hw(&self, _core: u8, _block: BlockAddr) -> bool {
+    fn block_is_transactional_hw(&self, _core: crate::dir::CoreId, _block: BlockAddr) -> bool {
         false
     }
 
-    fn block_is_transactional_exact(&self, _core: u8, _block: BlockAddr) -> bool {
+    fn block_is_transactional_exact(&self, _core: crate::dir::CoreId, _block: BlockAddr) -> bool {
         false
     }
 }

@@ -15,8 +15,7 @@ use crate::oracle::{AccessKind, ConflictOracle};
 use crate::stats::MemStats;
 use crate::store::MemStore;
 
-/// A core id (`0..n_cores`).
-pub type CoreId = u8;
+pub use crate::dir::{CoreId, MAX_CORES};
 
 /// A global thread-context id (`core * smt_per_core + slot`).
 pub type CtxId = u32;
@@ -157,8 +156,9 @@ impl ltse_sim::cache::CacheValue for CoherenceKind {
 /// Memory-system configuration (the paper's Table 1 by default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemConfig {
-    /// Number of cores (≤ 32; the paper uses 16).
-    pub n_cores: u8,
+    /// Number of cores (≤ [`MAX_CORES`]; the paper uses 16, the scale
+    /// sweeps go to 256).
+    pub n_cores: u16,
     /// Hardware thread contexts per core (the paper uses 2-way SMT).
     pub smt_per_core: u8,
     /// Private L1 data cache geometry (paper: 32 KB 4-way ⇒ 128 sets × 4).
@@ -166,8 +166,9 @@ pub struct MemConfig {
     /// Per-bank L2 geometry (paper: 8 MB 8-way over 16 banks ⇒ 1024 sets × 8
     /// per bank).
     pub l2_bank: CacheConfig,
-    /// Number of address-interleaved L2 banks (paper: 16).
-    pub n_banks: u8,
+    /// Number of address-interleaved L2 banks (paper: 16; scaled configs
+    /// use one bank per core).
+    pub n_banks: u16,
     /// Interconnect mesh width (paper: 4×4 nodes hosting cores + banks).
     pub grid_width: usize,
     /// Interconnect mesh height.
@@ -226,6 +227,33 @@ impl MemConfig {
         }
     }
 
+    /// A scaled-out CMP for the 64–256-core sweeps: `n_cores` cores with
+    /// one L2 bank per core, paper Table 1 cache geometry per core/bank
+    /// (so aggregate L2 capacity grows with core count), and the smallest
+    /// square mesh that hosts every core and bank (8×8 at 64 cores,
+    /// 12×12 at 128, 16×16 at 256).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is 0 or exceeds [`MAX_CORES`], or if
+    /// `smt_per_core` is 0.
+    pub fn scaled_cmp(n_cores: u16, smt_per_core: u8) -> Self {
+        assert!(
+            n_cores > 0 && (n_cores as usize) <= MAX_CORES,
+            "scaled_cmp needs 1..={MAX_CORES} cores"
+        );
+        assert!(smt_per_core > 0, "scaled_cmp needs at least 1 SMT slot");
+        let side = (1..).find(|s| s * s >= n_cores as usize).unwrap();
+        MemConfig {
+            n_cores,
+            smt_per_core,
+            n_banks: n_cores,
+            grid_width: side,
+            grid_height: side,
+            ..Self::paper_cmp()
+        }
+    }
+
     /// A tiny configuration for unit tests: 4 cores × 2 SMT, 4-set 2-way
     /// L1s (8 blocks!) so eviction paths are easy to trigger.
     pub fn small_for_tests() -> Self {
@@ -255,7 +283,7 @@ impl MemConfig {
     /// # Panics
     ///
     /// Panics if `core` or `slot` is out of range.
-    pub fn ctx(&self, core: u8, slot: u8) -> CtxId {
+    pub fn ctx(&self, core: CoreId, slot: u8) -> CtxId {
         assert!(core < self.n_cores, "core {core} out of range");
         assert!(slot < self.smt_per_core, "SMT slot {slot} out of range");
         core as u32 * self.smt_per_core as u32 + slot as u32
@@ -263,27 +291,30 @@ impl MemConfig {
 
     /// The core hosting a global context id.
     pub fn core_of(&self, ctx: CtxId) -> CoreId {
-        (ctx / self.smt_per_core as u32) as u8
+        (ctx / self.smt_per_core as u32) as CoreId
     }
 
     /// All context ids on `core`.
-    pub fn ctxs_on_core(&self, core: u8) -> impl Iterator<Item = CtxId> + '_ {
+    pub fn ctxs_on_core(&self, core: CoreId) -> impl Iterator<Item = CtxId> + '_ {
         let base = core as u32 * self.smt_per_core as u32;
         base..base + self.smt_per_core as u32
     }
 
     fn validate(&self) {
-        assert!(self.n_cores > 0 && self.n_cores <= 32, "1..=32 cores");
+        assert!(
+            self.n_cores > 0 && (self.n_cores as usize) <= MAX_CORES,
+            "1..={MAX_CORES} cores"
+        );
         assert!(self.smt_per_core > 0, "need at least one context per core");
         assert!(self.n_banks > 0, "need at least one L2 bank");
         assert!(self.n_chips > 0, "need at least one chip");
         assert_eq!(
-            self.n_cores % self.n_chips,
+            self.n_cores % self.n_chips as u16,
             0,
             "chips must hold equal core counts"
         );
         assert_eq!(
-            self.n_banks % self.n_chips,
+            self.n_banks % self.n_chips as u16,
             0,
             "chips must hold equal bank counts"
         );
@@ -404,7 +435,7 @@ impl MemorySystem {
     /// The directory entry for `block`, if its L2 line is resident.
     pub fn dir_entry(&self, block: BlockAddr) -> Option<DirEntry> {
         let bank = self.bank_of(block);
-        self.l2_banks[bank as usize].peek(&block).map(|l| l.dir)
+        self.l2_banks[bank as usize].peek(&block).map(|l| l.dir.clone())
     }
 
     /// Whether the directory information for `block` was lost to an L2
@@ -414,8 +445,8 @@ impl MemorySystem {
     }
 
     #[inline]
-    fn bank_of(&self, block: BlockAddr) -> u8 {
-        (block.0 % self.config.n_banks as u64) as u8
+    fn bank_of(&self, block: BlockAddr) -> u16 {
+        (block.0 % self.config.n_banks as u64) as u16
     }
 
     /// Grid node hosting a core. Cores and banks are laid out round-robin
@@ -426,7 +457,7 @@ impl MemorySystem {
     }
 
     #[inline]
-    fn bank_node(&self, bank: u8) -> usize {
+    fn bank_node(&self, bank: u16) -> usize {
         bank as usize % self.grid.nodes()
     }
 
@@ -437,19 +468,19 @@ impl MemorySystem {
     /// The chip hosting a core (cores are partitioned contiguously).
     #[inline]
     fn chip_of_core(&self, core: CoreId) -> u8 {
-        core / (self.config.n_cores / self.config.n_chips)
+        (core / (self.config.n_cores / self.config.n_chips as u16)) as u8
     }
 
     /// The chip hosting an L2 bank.
     #[inline]
-    fn chip_of_bank(&self, bank: u8) -> u8 {
-        bank / (self.config.n_banks / self.config.n_chips)
+    fn chip_of_bank(&self, bank: u16) -> u8 {
+        (bank / (self.config.n_banks / self.config.n_chips as u16)) as u8
     }
 
     /// Inter-chip crossing penalty between a core and a bank, with message
     /// accounting (paper §7 "Multiple CMPs": a point-to-point network
     /// connects the chips).
-    fn interchip_core_bank(&mut self, core: CoreId, bank: u8) -> Cycle {
+    fn interchip_core_bank(&mut self, core: CoreId, bank: u16) -> Cycle {
         if self.chip_of_core(core) != self.chip_of_bank(bank) {
             self.stats.interchip_messages.inc();
             self.config.interchip_link
@@ -573,7 +604,7 @@ impl MemorySystem {
         }
 
         // ---- Normal directory path --------------------------------------
-        let entry = self.l2_banks[bank as usize].peek(&block).map(|l| l.dir);
+        let entry = self.l2_banks[bank as usize].peek(&block).map(|l| l.dir.clone());
         match entry {
             None => self.access_l2_miss(requester, core, kind, block, bank, base, oracle),
             Some(dir) => match kind {
@@ -725,7 +756,7 @@ impl MemorySystem {
         core: CoreId,
         kind: AccessKind,
         block: BlockAddr,
-        bank: u8,
+        bank: u16,
         base: Cycle,
         oracle: &dyn ConflictOracle,
     ) -> AccessOutcome {
@@ -804,7 +835,7 @@ impl MemorySystem {
         core: CoreId,
         kind: AccessKind,
         block: BlockAddr,
-        bank: u8,
+        bank: u16,
         base: Cycle,
         oracle: &dyn ConflictOracle,
     ) -> AccessOutcome {
@@ -833,7 +864,7 @@ impl MemorySystem {
         requester: CtxId,
         core: CoreId,
         block: BlockAddr,
-        bank: u8,
+        bank: u16,
         base: Cycle,
         dir: DirEntry,
         oracle: &dyn ConflictOracle,
@@ -943,7 +974,7 @@ impl MemorySystem {
         requester: CtxId,
         core: CoreId,
         block: BlockAddr,
-        bank: u8,
+        bank: u16,
         base: Cycle,
         dir: DirEntry,
         oracle: &dyn ConflictOracle,
@@ -1024,7 +1055,7 @@ impl MemorySystem {
 
     /// Latency of bank → target probe → requester, including inter-chip
     /// crossings.
-    fn fwd_path(&mut self, core: CoreId, bank: u8, target: CoreId) -> Cycle {
+    fn fwd_path(&mut self, core: CoreId, bank: u16, target: CoreId) -> Cycle {
         let to_target = self.interchip_core_bank(target, bank);
         let back = self.interchip_core_core(target, core);
         self.net(self.bank_node(bank), self.core_node(target))
@@ -1034,7 +1065,7 @@ impl MemorySystem {
             + back
     }
 
-    fn nack(&mut self, core: CoreId, bank: u8, base: Cycle, nacker: CtxId) -> AccessOutcome {
+    fn nack(&mut self, core: CoreId, bank: u16, base: Cycle, nacker: CtxId) -> AccessOutcome {
         let nack_core = self.config.core_of(nacker);
         self.nack_via(core, bank, nack_core, base, nacker)
     }
@@ -1042,7 +1073,7 @@ impl MemorySystem {
     fn nack_via(
         &mut self,
         core: CoreId,
-        bank: u8,
+        bank: u16,
         via: CoreId,
         base: Cycle,
         nacker: CtxId,
@@ -1248,18 +1279,18 @@ mod tests {
     #[derive(Default)]
     struct FakeOracle {
         /// (core, block) pairs whose signature NACKs stores.
-        write_conflicts: Vec<(u8, u64, u32)>, // core, block, nacking ctx
+        write_conflicts: Vec<(u16, u64, u32)>, // core, block, nacking ctx
         /// (core, block) pairs whose signature NACKs loads (write-set hits).
-        read_conflicts: Vec<(u8, u64, u32)>,
+        read_conflicts: Vec<(u16, u64, u32)>,
         /// Blocks considered hw-transactional per core.
-        tx_blocks: Vec<(u8, u64)>,
+        tx_blocks: Vec<(u16, u64)>,
         checks: RefCell<u64>,
     }
 
     impl ConflictOracle for FakeOracle {
         fn check_core(
             &self,
-            core: u8,
+            core: u16,
             kind: AccessKind,
             block: BlockAddr,
             requester_ctx: u32,
@@ -1274,11 +1305,11 @@ mod tests {
                 .map(|&(_, _, n)| n)
         }
 
-        fn block_is_transactional_hw(&self, core: u8, block: BlockAddr) -> bool {
+        fn block_is_transactional_hw(&self, core: u16, block: BlockAddr) -> bool {
             self.tx_blocks.iter().any(|&(c, b)| c == core && b == block.0)
         }
 
-        fn block_is_transactional_exact(&self, core: u8, block: BlockAddr) -> bool {
+        fn block_is_transactional_exact(&self, core: u16, block: BlockAddr) -> bool {
             self.block_is_transactional_hw(core, block)
         }
     }
@@ -1772,7 +1803,7 @@ mod tests {
             let mut m = MemorySystem::new(cfg);
             let o = NullOracle;
             for i in 0..64u64 {
-                let ctx = m.config().ctx((i % 4) as u8, 0);
+                let ctx = m.config().ctx((i % 4) as u16, 0);
                 m.access(ctx, AccessKind::Load, BlockAddr(i * 3 % 32), &o);
             }
             m.stats().messages.get()

@@ -95,13 +95,13 @@ fn nacks_never_mutate_protocol_state() {
     #[derive(Debug)]
     struct Guard(Vec<u64>);
     impl ConflictOracle for Guard {
-        fn check_core(&self, core: u8, _k: AccessKind, b: BlockAddr, req: u32) -> Option<u32> {
+        fn check_core(&self, core: u16, _k: AccessKind, b: BlockAddr, req: u32) -> Option<u32> {
             (core == 0 && req != 0 && self.0.contains(&b.0)).then_some(0)
         }
-        fn block_is_transactional_hw(&self, core: u8, b: BlockAddr) -> bool {
+        fn block_is_transactional_hw(&self, core: u16, b: BlockAddr) -> bool {
             core == 0 && self.0.contains(&b.0)
         }
-        fn block_is_transactional_exact(&self, core: u8, b: BlockAddr) -> bool {
+        fn block_is_transactional_exact(&self, core: u16, b: BlockAddr) -> bool {
             self.block_is_transactional_hw(core, b)
         }
     }

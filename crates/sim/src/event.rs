@@ -51,13 +51,13 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// Number of calendar buckets, one simulated cycle each. Covers the
+/// Default number of calendar buckets, one simulated cycle each. Covers the
 /// overwhelmingly common small-delta schedules (cache hits, network hops,
 /// NACK retries) with O(1) push/pop; anything scheduled further out takes
 /// the heap fallback and migrates into the calendar as the window slides.
-const NUM_BUCKETS: usize = 256;
-const BUCKET_MASK: u64 = NUM_BUCKETS as u64 - 1;
-const OCC_WORDS: usize = NUM_BUCKETS / 64;
+/// Scaled-out systems (more in-flight events, longer latency tails) can
+/// widen the window via [`EventQueue::with_buckets`].
+pub const DEFAULT_BUCKETS: usize = 256;
 
 /// A priority queue of timestamped events with deterministic ordering.
 ///
@@ -92,13 +92,15 @@ const OCC_WORDS: usize = NUM_BUCKETS / 64;
 /// assert_eq!(q.pop(), Some((Cycle(2), Ev::Tock)));
 /// ```
 pub struct EventQueue<E> {
-    /// Ring of one-cycle buckets; slot `t & BUCKET_MASK` holds entries for
+    /// Ring of one-cycle buckets; slot `t & mask` holds entries for
     /// time `t` while `t` lies inside the window. Each bucket stays sorted
     /// by `seq` (plain pushes append — their seq is the largest so far;
     /// exploration re-pushes insert by binary search).
     buckets: Vec<VecDeque<Entry<E>>>,
+    /// `buckets.len() - 1`; the length is a power of two.
+    mask: u64,
     /// Occupancy bitmap over `buckets`, for O(words) next-event scans.
-    occ: [u64; OCC_WORDS],
+    occ: Vec<u64>,
     /// Total entries across all buckets.
     bucket_len: usize,
     /// Start of the bucket window. Only ever advances, and only to the
@@ -119,17 +121,41 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue positioned at cycle 0.
+    /// Creates an empty queue positioned at cycle 0 with
+    /// [`DEFAULT_BUCKETS`] calendar buckets.
     pub fn new() -> Self {
+        Self::with_buckets(DEFAULT_BUCKETS)
+    }
+
+    /// Creates an empty queue with `n` calendar buckets (a one-cycle slot
+    /// each, so the calendar window spans `n` cycles). Larger systems keep
+    /// more events in flight over longer latency tails; widening the window
+    /// keeps them on the O(1) bucket path instead of the heap fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two and at least 64 (one occupancy
+    /// word).
+    pub fn with_buckets(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two() && n >= 64,
+            "bucket count must be a power of two >= 64, got {n}"
+        );
         EventQueue {
-            buckets: (0..NUM_BUCKETS).map(|_| VecDeque::new()).collect(),
-            occ: [0; OCC_WORDS],
+            buckets: (0..n).map(|_| VecDeque::new()).collect(),
+            mask: n as u64 - 1,
+            occ: vec![0; n / 64],
             bucket_len: 0,
             window_start: Cycle::ZERO,
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Cycle::ZERO,
         }
+    }
+
+    /// Number of calendar buckets (the window width in cycles).
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
@@ -164,7 +190,7 @@ impl<E> EventQueue<E> {
     /// heap by its timestamp.
     fn push_entry(&mut self, e: Entry<E>) {
         if e.time >= self.window_start
-            && e.time.0 - self.window_start.0 < NUM_BUCKETS as u64
+            && e.time.0 - self.window_start.0 < self.buckets.len() as u64
         {
             self.bucket_insert(e);
         } else {
@@ -175,7 +201,7 @@ impl<E> EventQueue<E> {
     /// Inserts into the bucket ring, keeping the slot's seq order. The fast
     /// path is a plain append: ordinary pushes always carry the largest seq.
     fn bucket_insert(&mut self, e: Entry<E>) {
-        let idx = (e.time.0 & BUCKET_MASK) as usize;
+        let idx = (e.time.0 & self.mask) as usize;
         let dq = &mut self.buckets[idx];
         debug_assert!(dq.back().is_none_or(|b| b.time == e.time));
         match dq.back() {
@@ -191,7 +217,7 @@ impl<E> EventQueue<E> {
 
     /// Removes the front entry of the bucket for time `t`.
     fn pop_bucket(&mut self, t: Cycle) -> Entry<E> {
-        let idx = (t.0 & BUCKET_MASK) as usize;
+        let idx = (t.0 & self.mask) as usize;
         let e = self.buckets[idx].pop_front().expect("pop from empty bucket");
         if self.buckets[idx].is_empty() {
             self.occ[idx / 64] &= !(1u64 << (idx % 64));
@@ -233,12 +259,12 @@ impl<E> EventQueue<E> {
         if self.bucket_len == 0 {
             return None;
         }
-        let s = (self.window_start.0 & BUCKET_MASK) as usize;
+        let s = (self.window_start.0 & self.mask) as usize;
         let p = self
-            .first_occupied_in(s, NUM_BUCKETS)
+            .first_occupied_in(s, self.buckets.len())
             .or_else(|| self.first_occupied_in(0, s))
             .expect("bucket_len > 0 but occupancy bitmap empty");
-        let dist = (p.wrapping_sub(s) as u64) & BUCKET_MASK;
+        let dist = (p.wrapping_sub(s) as u64) & self.mask;
         let t = Cycle(self.window_start.0 + dist);
         let front = self.buckets[p].front().expect("occupied bucket");
         debug_assert_eq!(front.time, t);
@@ -252,7 +278,7 @@ impl<E> EventQueue<E> {
         if t > self.window_start {
             self.window_start = t;
         }
-        let horizon = self.window_start.0.saturating_add(NUM_BUCKETS as u64);
+        let horizon = self.window_start.0.saturating_add(self.buckets.len() as u64);
         while let Some(top) = self.heap.peek() {
             if top.time.0 >= horizon {
                 break;
@@ -387,7 +413,7 @@ impl<E> EventQueue<E> {
                 dq.clear();
             }
         }
-        self.occ = [0; OCC_WORDS];
+        self.occ.fill(0);
         self.bucket_len = 0;
         self.heap.clear();
     }
@@ -639,6 +665,43 @@ mod tests {
         q.push(Cycle(600), 'e');
         assert_eq!(q.pop(), Some((Cycle(300), 'd')));
         assert_eq!(q.pop(), Some((Cycle(600), 'e')));
+    }
+
+    #[test]
+    fn bucket_widths_agree_on_pop_order() {
+        // The bucket count is a pure performance knob: any width must
+        // produce the identical pop sequence.
+        let mut queues: Vec<EventQueue<u64>> =
+            [64, 256, 1024].into_iter().map(EventQueue::with_buckets).collect();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut t = 0u64;
+        for i in 0..500u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            t += state >> 56; // deltas 0..255, occasionally past narrow windows
+            for q in &mut queues {
+                q.push(Cycle(t), i);
+            }
+        }
+        loop {
+            let got: Vec<_> = queues.iter_mut().map(|q| q.pop()).collect();
+            assert_eq!(got[0], got[1]);
+            assert_eq!(got[0], got[2]);
+            if got[0].is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn with_buckets_rejects_non_power_of_two() {
+        let _ = EventQueue::<()>::with_buckets(96);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 64")]
+    fn with_buckets_rejects_tiny_counts() {
+        let _ = EventQueue::<()>::with_buckets(32);
     }
 
     /// Reference implementation: the plain `BinaryHeap` queue this calendar

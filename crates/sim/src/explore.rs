@@ -34,18 +34,22 @@
 //! breadth-first (each wave's children are derived from the previous wave's
 //! recordings), phases 2 and 3 are pre-seeded, so a wave is an
 //! embarrassingly-parallel batch. [`explore`] runs waves on the calling
-//! thread; [`explore_jobs`] fans each wave across the worker pool's
-//! atomic-index dispatcher ([`crate::parallel::par_map_indexed`]) and merges
-//! recordings back in wave order. Because wave composition, failure
-//! selection (first failing schedule in wave order), and the explored-set
-//! fingerprint are all independent of who executed what, the two entry
-//! points return identical reports at any job count.
+//! thread; [`explore_jobs`] keeps one persistent worker pool alive for the
+//! whole exploration ([`crate::parallel::batch_scope`]) and hands it each
+//! wave as a batch over chunked work-stealing ranges — no per-wave thread
+//! spawn/join, which is what used to make parallel exploration slower than
+//! sequential. Outcomes merge back **in wave order**, and single-schedule
+//! waves (the shrinker's candidates) run inline on the calling thread.
+//! Because wave composition, failure selection (first failing schedule in
+//! wave order), and the explored-set fingerprint are all independent of who
+//! executed what, the two entry points return identical reports at any job
+//! count.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
 use crate::event::EventChooser;
-use crate::parallel::par_map_indexed;
+use crate::parallel::{batch_scope, BatchPool};
 use crate::rng::{mix64, Xoshiro256StarStar};
 
 /// A recorded (or prescribed) sequence of scheduling choices.
@@ -355,11 +359,26 @@ struct WaveOutcome {
     widths: Vec<u8>,
 }
 
+/// Runs one spec to completion and records what the chooser saw. Both
+/// runners execute exactly this, so seq/parallel outcomes are identical.
+fn run_spec<F>(run: &F, spec: &ChooserSpec) -> WaveOutcome
+where
+    F: Fn(&mut ScheduleChooser) -> Result<(), String>,
+{
+    let mut chooser = spec.build();
+    let result = run(&mut chooser);
+    WaveOutcome {
+        result,
+        taken: chooser.taken().to_vec(),
+        widths: chooser.widths().to_vec(),
+    }
+}
+
 /// Executes pre-enumerated waves of schedules. The engine only ever observes
 /// outcomes *in wave order*, so any runner that preserves it (sequentially
 /// or by index-merged fan-out) yields identical exploration.
 trait WaveRunner {
-    fn run_wave(&mut self, specs: &[ChooserSpec]) -> Vec<WaveOutcome>;
+    fn run_wave(&mut self, specs: Vec<ChooserSpec>) -> Vec<WaveOutcome>;
 }
 
 /// Runs every schedule on the calling thread, in order.
@@ -369,7 +388,7 @@ impl<F> WaveRunner for SeqRunner<F>
 where
     F: FnMut(&mut ScheduleChooser) -> Result<(), String>,
 {
-    fn run_wave(&mut self, specs: &[ChooserSpec]) -> Vec<WaveOutcome> {
+    fn run_wave(&mut self, specs: Vec<ChooserSpec>) -> Vec<WaveOutcome> {
         specs
             .iter()
             .map(|spec| {
@@ -385,27 +404,20 @@ where
     }
 }
 
-/// Fans each wave across worker threads via atomic-index dispatch and
-/// merges the outcomes back into wave order.
-struct ParRunner<'f, F> {
-    run: &'f F,
-    jobs: usize,
+/// Hands each wave to the persistent [`BatchPool`] as one batch; workers
+/// claim schedules through chunked work-stealing ranges and the pool merges
+/// outcomes back into wave order. Single-spec waves (shrink candidates) run
+/// inline on the calling thread inside the pool, at sequential cost.
+struct PoolRunner<'a, 'p, In, Out, F> {
+    pool: &'a BatchPool<'p, In, Out, F>,
 }
 
-impl<F> WaveRunner for ParRunner<'_, F>
+impl<F> WaveRunner for PoolRunner<'_, '_, ChooserSpec, WaveOutcome, F>
 where
-    F: Fn(&mut ScheduleChooser) -> Result<(), String> + Sync,
+    F: Fn(usize, &ChooserSpec) -> WaveOutcome + Sync,
 {
-    fn run_wave(&mut self, specs: &[ChooserSpec]) -> Vec<WaveOutcome> {
-        par_map_indexed(specs.len(), self.jobs, |i| {
-            let mut chooser = specs[i].build();
-            let result = (self.run)(&mut chooser);
-            WaveOutcome {
-                result,
-                taken: chooser.taken().to_vec(),
-                widths: chooser.widths().to_vec(),
-            }
-        })
+    fn run_wave(&mut self, specs: Vec<ChooserSpec>) -> Vec<WaveOutcome> {
+        self.pool.run_batch(specs)
     }
 }
 
@@ -449,7 +461,7 @@ fn explore_engine<R: WaveRunner>(cfg: &ExploreConfig, runner: &mut R) -> Explore
         frontier.truncate(cfg.max_schedules - runs);
         let specs: Vec<ChooserSpec> =
             frontier.iter().map(|p| ChooserSpec::Replay(p.clone())).collect();
-        let outcomes = runner.run_wave(&specs);
+        let outcomes = runner.run_wave(specs);
         absorb(&outcomes, &mut runs, &mut seen, &mut failure);
         let mut next = Vec::new();
         if failure.is_none() {
@@ -477,7 +489,7 @@ fn explore_engine<R: WaveRunner>(cfg: &ExploreConfig, runner: &mut R) -> Explore
         let specs: Vec<ChooserSpec> = (i..i + n)
             .map(|j| ChooserSpec::Random(mix64(cfg.seed ^ (j as u64).wrapping_mul(2) + 1)))
             .collect();
-        let outcomes = runner.run_wave(&specs);
+        let outcomes = runner.run_wave(specs);
         absorb(&outcomes, &mut runs, &mut seen, &mut failure);
         i += n;
     }
@@ -494,7 +506,7 @@ fn explore_engine<R: WaveRunner>(cfg: &ExploreConfig, runner: &mut R) -> Explore
                 ChooserSpec::Delay(seed, cfg.delay_budget)
             })
             .collect();
-        let outcomes = runner.run_wave(&specs);
+        let outcomes = runner.run_wave(specs);
         absorb(&outcomes, &mut runs, &mut seen, &mut failure);
         i += n;
     }
@@ -542,25 +554,26 @@ where
     explore_engine(cfg, &mut SeqRunner(run))
 }
 
-/// [`explore`] fanned across `jobs` worker threads.
+/// [`explore`] fanned across `jobs` persistent worker threads.
 ///
 /// `run` must additionally be `Fn + Sync` so workers can execute schedules
 /// concurrently; each invocation still gets its own [`ScheduleChooser`] and
-/// must build its own fresh system. The report — schedules run, distinct
-/// set, fingerprint, and (minimized) failure — is identical to the
+/// must build its own fresh system. The workers are spawned **once** for the
+/// whole exploration and fed each wave through chunked work-stealing ranges
+/// ([`crate::parallel::batch_scope`]), so per-wave dispatch costs a condvar
+/// wakeup rather than a spawn/join cycle. The report — schedules run,
+/// distinct set, fingerprint, and (minimized) failure — is identical to the
 /// sequential [`explore`] and to any other job count; only wall-clock time
 /// changes. Shrinking runs sequentially (each candidate depends on the last
-/// verdict).
+/// verdict), inline on the calling thread.
 pub fn explore_jobs<F>(cfg: &ExploreConfig, jobs: usize, run: F) -> ExploreReport
 where
     F: Fn(&mut ScheduleChooser) -> Result<(), String> + Sync,
 {
-    explore_engine(
-        cfg,
-        &mut ParRunner {
-            run: &run,
-            jobs: jobs.max(1),
-        },
+    batch_scope(
+        jobs.max(1),
+        |_, spec: &ChooserSpec| run_spec(&run, spec),
+        |pool| explore_engine(cfg, &mut PoolRunner { pool }),
     )
 }
 
@@ -574,7 +587,7 @@ fn shrink<R: WaveRunner>(runner: &mut R, taken: Vec<u8>, budget: usize) -> (Sche
     let mut fails = |cand: &[u8], used: &mut usize| -> bool {
         *used += 1;
         runner
-            .run_wave(std::slice::from_ref(&ChooserSpec::Replay(cand.to_vec())))
+            .run_wave(vec![ChooserSpec::Replay(cand.to_vec())])
             .pop()
             .expect("one spec, one outcome")
             .result

@@ -63,5 +63,5 @@ pub mod rng;
 pub mod stats;
 pub mod trace;
 
-pub use event::{EventChooser, EventQueue};
+pub use event::{EventChooser, EventQueue, DEFAULT_BUCKETS};
 pub use time::Cycle;

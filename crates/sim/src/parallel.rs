@@ -7,7 +7,7 @@
 //!
 //! * **Deterministic**: results come back in submission order regardless of
 //!   worker count or scheduling, so a sweep's output is byte-identical
-//!   whether it ran on 1 worker or 64.
+//!   whether it ran on 1 worker or 256.
 //! * **Panic-isolated**: each job runs under [`std::panic::catch_unwind`];
 //!   one diverging configuration surfaces as a labelled [`RunError`] in its
 //!   result slot instead of killing the whole sweep.
@@ -17,12 +17,25 @@
 //! * **Dependency-free**: a fixed-size pool over [`std::thread::scope`] —
 //!   no external runtime.
 //!
-//! Dispatch is a single atomic cursor over pre-enumerated job slots: a
-//! worker claims the next submission index with one `fetch_add`, so there is
-//! no shared queue and no per-pop lock on the hot path (the per-slot take is
-//! an uncontended `Mutex<Option<_>>` — each slot is touched by exactly one
-//! claimant). An uneven mix of short and long runs still load-balances
-//! naturally because claiming is greedy.
+//! # Scheduling: persistent workers, chunked work-stealing ranges
+//!
+//! Callers that submit many small batches (the schedule explorer runs waves
+//! of ~32 simulations, each tens of microseconds) cannot afford to re-pay
+//! thread spawn/join per batch — that overhead is what made wave-parallel
+//! exploration a net *slowdown* before this design. [`batch_scope`] spawns
+//! its workers **once**; batches are then handed over with a single
+//! mutex/condvar epoch bump (microseconds, not milliseconds).
+//!
+//! Within a batch, the index space is split into one contiguous range per
+//! worker, each packed into a single `AtomicU64` (`begin` in the high half,
+//! `end` in the low half). An owner pops an adaptively-sized chunk from the
+//! front of its range with one CAS; an idle worker steals the back *half* of
+//! a victim's range with one CAS and makes it its own, so stolen work keeps
+//! getting re-split instead of serializing on one thief. Every index is
+//! claimed exactly once (ranges over one batch are consumed monotonically,
+//! so a stale CAS can never resurrect spent indices), and results are merged
+//! back **by index**, which is what keeps output independent of which worker
+//! ran what.
 //!
 //! Worker count resolves, in priority order: an explicit argument, the
 //! `LTSE_JOBS` environment variable, then
@@ -40,8 +53,8 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::cache::{CacheCounts, CacheValue, Fingerprint, Lookup, RunCache};
@@ -152,12 +165,14 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Upper bound on the *detected* default worker count. Experiment runs are
-/// short relative to per-thread spawn cost, so on very wide machines (or
-/// under a miscounting container runtime) an unclamped
-/// `available_parallelism` default oversubscribes for no throughput gain. An
-/// explicit `--jobs`/`LTSE_JOBS` request is honored as given.
-pub const MAX_DEFAULT_JOBS: usize = 64;
+/// Upper bound on the *detected* default worker count. With persistent
+/// workers the pool no longer re-pays spawn cost per wave, and 128/256-core
+/// sweeps legitimately want wide fan-out, so the clamp now only guards
+/// against a miscounting container runtime reporting absurd widths. An
+/// explicit `--jobs`/`LTSE_JOBS` request is honored as given, above or below
+/// this bound — that is the documented override for hosts that really do
+/// have more cores.
+pub const MAX_DEFAULT_JOBS: usize = 256;
 
 /// Resolves the worker count: `explicit` if given, else the `LTSE_JOBS`
 /// environment variable, else [`std::thread::available_parallelism`] clamped
@@ -177,17 +192,336 @@ pub fn effective_jobs(explicit: Option<usize>) -> usize {
         .max(1)
 }
 
+// ---------------------------------------------------------------------------
+// Work-stealing range deques
+// ---------------------------------------------------------------------------
+
+/// A contiguous index range `begin..end` packed into one `AtomicU64`
+/// (`begin` high 32 bits, `end` low 32 bits). The owner pops chunks from the
+/// front; thieves steal the back half. Both sides mutate with a single CAS,
+/// so the deque is allocation-free and lock-free.
+///
+/// ABA safety: within one batch every index is claimed exactly once, so a
+/// non-empty `(begin, end)` packing can only be *current* while those
+/// indices are still unclaimed — a stale CAS can therefore never hand out an
+/// index twice.
+struct StealRange(AtomicU64);
+
+#[inline]
+fn pack(begin: u32, end: u32) -> u64 {
+    ((begin as u64) << 32) | end as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+impl StealRange {
+    fn new(begin: u32, end: u32) -> Self {
+        StealRange(AtomicU64::new(pack(begin, end)))
+    }
+
+    /// Pops up to `take` indices from the front. Returns the claimed
+    /// sub-range, or `None` when empty.
+    fn pop_front(&self, take: u32) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (begin, end) = unpack(cur);
+            if begin >= end {
+                return None;
+            }
+            let k = take.min(end - begin).max(1);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(begin + k, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((begin, begin + k)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Steals the back half (at least one index) of the range. Returns the
+    /// stolen sub-range, or `None` when empty.
+    fn steal_back_half(&self) -> Option<(u32, u32)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (begin, end) = unpack(cur);
+            if begin >= end {
+                return None;
+            }
+            let k = ((end - begin) / 2).max(1);
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(begin, end - k),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((end - k, end)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Replaces an *empty* owned range with freshly stolen work. Only the
+    /// owner calls this, and only after draining its range; thieves never
+    /// CAS against an empty packing, so the store cannot race a claim.
+    fn refill(&self, begin: u32, end: u32) {
+        self.0.store(pack(begin, end), Ordering::Release);
+    }
+}
+
+/// One batch of work published to the workers: owned items plus the
+/// per-worker range deques covering `0..items.len()`.
+struct BatchWork<In> {
+    items: Vec<In>,
+    ranges: Vec<StealRange>,
+    /// Owner-side pop granularity for this batch (adaptive: scaled from the
+    /// batch size and worker count at submission).
+    chunk: u32,
+}
+
+struct PoolState<In, Out> {
+    /// Current batch, if one is in flight. `Arc` so workers can keep the
+    /// items alive without holding the lock while they run.
+    batch: Option<Arc<BatchWork<In>>>,
+    /// Bumped once per submitted batch; workers use it to detect new work.
+    epoch: u64,
+    /// `(index, value)` pairs appended by each worker as it finishes.
+    results: Vec<(u32, Out)>,
+    /// Panic payloads captured while running items, tagged by index.
+    panics: Vec<(u32, Box<dyn std::any::Any + Send>)>,
+    /// Workers that have drained the current batch.
+    workers_done: usize,
+    shutdown: bool,
+}
+
+struct PoolShared<In, Out> {
+    state: Mutex<PoolState<In, Out>>,
+    /// Workers wait here for the next epoch (or shutdown).
+    work_cv: Condvar,
+    /// The submitter waits here for `workers_done == jobs`.
+    done_cv: Condvar,
+    jobs: usize,
+}
+
+/// Handle passed to the body of [`batch_scope`]: submit batches of owned
+/// items; results come back in item order.
+pub struct BatchPool<'p, In, Out, F> {
+    shared: Option<&'p PoolShared<In, Out>>,
+    f: &'p F,
+    jobs: usize,
+}
+
+impl<In, Out, F> BatchPool<'_, In, Out, F>
+where
+    In: Send + Sync,
+    Out: Send,
+    F: Fn(usize, &In) -> Out + Sync,
+{
+    /// Workers this pool runs on (1 = everything inline on the caller).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `f` over every item and returns the outputs in item order.
+    ///
+    /// Single-item batches (and jobs = 1 pools) run inline on the calling
+    /// thread — no cross-thread handoff, which keeps e.g. the explore
+    /// shrinker's one-schedule waves at sequential cost. A panic inside `f`
+    /// propagates to the caller after the batch drains; when several items
+    /// panic, the lowest index wins, deterministically.
+    pub fn run_batch(&self, items: Vec<In>) -> Vec<Out> {
+        let n = items.len();
+        let shared = match self.shared {
+            Some(s) if n > 1 => s,
+            _ => {
+                return items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, item)| (self.f)(i, item))
+                    .collect();
+            }
+        };
+
+        // Partition 0..n into one contiguous range per worker and pick the
+        // owner-pop chunk: small enough that every worker gets several pops
+        // (load balance), large enough to amortize the CAS (throughput).
+        let jobs = shared.jobs;
+        let n32 = u32::try_from(n).expect("batch fits in u32 indices");
+        let base = n32 / jobs as u32;
+        let rem = (n32 % jobs as u32) as usize;
+        let mut ranges = Vec::with_capacity(jobs);
+        let mut at = 0u32;
+        for w in 0..jobs {
+            let len = base + u32::from(w < rem);
+            ranges.push(StealRange::new(at, at + len));
+            at += len;
+        }
+        let chunk = (n32 / (jobs as u32 * 8)).clamp(1, 64);
+        let work = Arc::new(BatchWork { items, ranges, chunk });
+
+        let mut st = shared.state.lock().expect("pool lock");
+        st.batch = Some(Arc::clone(&work));
+        st.epoch += 1;
+        st.results.clear();
+        st.panics.clear();
+        st.workers_done = 0;
+        shared.work_cv.notify_all();
+        while st.workers_done < jobs {
+            st = shared.done_cv.wait(st).expect("pool lock");
+        }
+        st.batch = None;
+
+        if !st.panics.is_empty() {
+            st.panics.sort_by_key(|(i, _)| *i);
+            let (_, payload) = st.panics.swap_remove(0);
+            drop(st);
+            std::panic::resume_unwind(payload);
+        }
+
+        let mut merged: Vec<Option<Out>> = (0..n).map(|_| None).collect();
+        for (i, v) in st.results.drain(..) {
+            merged[i as usize] = Some(v);
+        }
+        drop(st);
+        merged
+            .into_iter()
+            .map(|v| v.expect("every index claimed exactly once"))
+            .collect()
+    }
+}
+
+fn worker_loop<In, Out, F>(shared: &PoolShared<In, Out>, f: &F, me: usize)
+where
+    In: Send + Sync,
+    Out: Send,
+    F: Fn(usize, &In) -> Out + Sync,
+{
+    let mut seen_epoch = 0u64;
+    loop {
+        let work = {
+            let mut st = shared.state.lock().expect("pool lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch > seen_epoch {
+                    seen_epoch = st.epoch;
+                    break Arc::clone(st.batch.as_ref().expect("batch set with epoch"));
+                }
+                st = shared.work_cv.wait(st).expect("pool lock");
+            }
+        };
+
+        let mut local: Vec<(u32, Out)> = Vec::new();
+        let mut local_panics: Vec<(u32, Box<dyn std::any::Any + Send>)> = Vec::new();
+        let own = &work.ranges[me];
+        'batch: loop {
+            // Drain our own range in chunks from the front.
+            while let Some((b, e)) = own.pop_front(work.chunk) {
+                for i in b..e {
+                    let item = &work.items[i as usize];
+                    match catch_unwind(AssertUnwindSafe(|| f(i as usize, item))) {
+                        Ok(v) => local.push((i, v)),
+                        Err(payload) => local_panics.push((i, payload)),
+                    }
+                }
+            }
+            // Empty: steal the back half of the first victim that has work,
+            // make it our own range, and go back to chunked popping.
+            for step in 1..work.ranges.len() {
+                let victim = (me + step) % work.ranges.len();
+                if let Some((b, e)) = work.ranges[victim].steal_back_half() {
+                    own.refill(b, e);
+                    continue 'batch;
+                }
+            }
+            break;
+        }
+        drop(work);
+
+        let mut st = shared.state.lock().expect("pool lock");
+        st.results.append(&mut local);
+        st.panics.append(&mut local_panics);
+        st.workers_done += 1;
+        if st.workers_done == shared.jobs {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Spawns a persistent pool of `jobs` workers for the duration of `body`,
+/// handing it a [`BatchPool`] that can submit any number of batches. Workers
+/// are spawned **once** — each subsequent batch costs one condvar round-trip
+/// instead of a spawn/join cycle, which is what lets callers with many small
+/// waves (the schedule explorer) actually profit from parallelism.
+///
+/// With `jobs <= 1` no threads are spawned at all; every batch runs inline
+/// on the calling thread.
+pub fn batch_scope<In, Out, F, R>(
+    jobs: usize,
+    f: F,
+    body: impl FnOnce(&BatchPool<'_, In, Out, F>) -> R,
+) -> R
+where
+    In: Send + Sync,
+    Out: Send,
+    F: Fn(usize, &In) -> Out + Sync,
+{
+    let jobs = jobs.max(1);
+    if jobs == 1 {
+        return body(&BatchPool { shared: None, f: &f, jobs: 1 });
+    }
+    let shared = PoolShared {
+        state: Mutex::new(PoolState {
+            batch: None,
+            epoch: 0,
+            results: Vec::new(),
+            panics: Vec::new(),
+            workers_done: 0,
+            shutdown: false,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        jobs,
+    };
+    std::thread::scope(|scope| {
+        for me in 0..jobs {
+            let shared = &shared;
+            let f = &f;
+            scope.spawn(move || worker_loop(shared, f, me));
+        }
+        let pool = BatchPool { shared: Some(&shared), f: &f, jobs };
+        // `body` (or a propagated batch panic) must still release the
+        // workers, or the scope's implicit join would deadlock.
+        let result = catch_unwind(AssertUnwindSafe(|| body(&pool)));
+        {
+            let mut st = shared.state.lock().expect("pool lock");
+            st.shutdown = true;
+        }
+        shared.work_cv.notify_all();
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
 /// Runs `f(0..n)` on `jobs` workers and returns the results in index order.
 ///
-/// The scheduling primitive underneath [`run_pool`] and the parallel
-/// schedule explorer: indices are claimed with a single atomic `fetch_add`
-/// (no queue, no lock), each worker accumulates `(index, value)` pairs
-/// locally, and the main thread scatters them back into index order at
-/// join. With `jobs <= 1` (or a single item) everything runs inline on the
-/// calling thread — no spawn cost, and `f` need not be `Sync`-exercised.
+/// A one-batch convenience over [`batch_scope`]: indices are claimed through
+/// the same chunked work-stealing ranges, each worker accumulates
+/// `(index, value)` pairs locally, and the submitter scatters them back into
+/// index order. With `jobs <= 1` (or a single item) everything runs inline
+/// on the calling thread — no spawn cost, and `f` need not be
+/// `Sync`-exercised.
 ///
 /// Panic semantics: a panic inside `f` propagates to the caller (after all
-/// workers have drained), exactly as the same loop run sequentially would.
+/// workers have drained); when several indices panic, the lowest one wins.
 /// Callers that want isolation wrap `f` in `catch_unwind`, as [`run_pool`]
 /// does.
 pub fn par_map_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
@@ -199,35 +533,7 @@ where
     if jobs == 1 {
         return (0..n).map(f).collect();
     }
-    let cursor = AtomicUsize::new(0);
-    let mut merged: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut workers = Vec::with_capacity(jobs);
-        for _ in 0..jobs {
-            workers.push(scope.spawn(|| {
-                let mut local: Vec<(usize, T)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break local;
-                    }
-                    local.push((i, f(i)));
-                }
-            }));
-        }
-        for worker in workers {
-            let local = worker
-                .join()
-                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-            for (i, v) in local {
-                merged[i] = Some(v);
-            }
-        }
-    });
-    merged
-        .into_iter()
-        .map(|v| v.expect("every index claimed exactly once"))
-        .collect()
+    batch_scope(jobs, |i, _: &()| f(i), |pool| pool.run_batch(vec![(); n]))
 }
 
 /// Monomorphized codec hooks, so the uncached [`run_pool`] needs no
@@ -292,7 +598,7 @@ fn run_pool_inner<T: Send>(
     let started = Instant::now();
 
     // Pre-enumerated slots: index identity is fixed before any worker runs,
-    // which is what makes atomic-index dispatch sufficient.
+    // which is what makes index-range dispatch sufficient.
     let slots: Vec<Mutex<Option<RunSpec<T>>>> =
         specs.into_iter().map(|s| Mutex::new(Some(s))).collect();
 
@@ -454,6 +760,112 @@ mod tests {
         // process environment from a unit test would race other tests).
         let detected = effective_jobs(None);
         assert!((1..=MAX_DEFAULT_JOBS).contains(&detected));
+    }
+
+    #[test]
+    fn steal_range_pops_and_steals_disjointly() {
+        let r = StealRange::new(0, 100);
+        let (b, e) = r.pop_front(8).unwrap();
+        assert_eq!((b, e), (0, 8));
+        let (sb, se) = r.steal_back_half().unwrap();
+        assert_eq!((sb, se), (54, 100), "half of 8..100 from the back");
+        let (b2, e2) = r.pop_front(64).unwrap();
+        assert_eq!((b2, e2), (8, 54), "front pop clamped to the remainder");
+        assert!(r.pop_front(1).is_none());
+        assert!(r.steal_back_half().is_none());
+    }
+
+    #[test]
+    fn steal_range_single_index() {
+        let r = StealRange::new(7, 8);
+        assert_eq!(r.steal_back_half(), Some((7, 8)));
+        assert!(r.pop_front(4).is_none());
+    }
+
+    #[test]
+    fn batch_scope_runs_many_batches_on_persistent_workers() {
+        batch_scope(
+            4,
+            |i, item: &u64| (i as u64) * 1000 + item * item,
+            |pool| {
+                assert_eq!(pool.jobs(), 4);
+                for round in 0..50u64 {
+                    let items: Vec<u64> = (0..17).map(|i| i + round).collect();
+                    let got = pool.run_batch(items.clone());
+                    let want: Vec<u64> = items
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| (i as u64) * 1000 + v * v)
+                        .collect();
+                    assert_eq!(got, want, "round {round}");
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn batch_scope_inline_paths() {
+        // jobs=1: no threads at all.
+        batch_scope(
+            1,
+            |_, item: &u32| item + 1,
+            |pool| {
+                assert_eq!(pool.run_batch(vec![1, 2, 3]), vec![2, 3, 4]);
+            },
+        );
+        // Single-item batches run inline even on a multi-worker pool.
+        batch_scope(
+            3,
+            |_, item: &u32| item * 2,
+            |pool| {
+                assert_eq!(pool.run_batch(vec![21]), vec![42]);
+                assert_eq!(pool.run_batch(Vec::new()), Vec::<u32>::new());
+            },
+        );
+    }
+
+    #[test]
+    fn batch_scope_propagates_lowest_index_panic() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            batch_scope(
+                3,
+                |_, item: &u32| {
+                    if *item >= 90 {
+                        panic!("item {item} diverged");
+                    }
+                    *item
+                },
+                |pool| {
+                    let mut items: Vec<u32> = (0..40).collect();
+                    items[7] = 97;
+                    items[31] = 91;
+                    pool.run_batch(items);
+                },
+            )
+        }));
+        let payload = caught.expect_err("batch must panic");
+        let msg = panic_message(payload);
+        assert_eq!(msg, "item 97 diverged", "lowest submission index wins");
+    }
+
+    #[test]
+    fn batch_scope_survives_a_panicking_batch() {
+        // After a batch panics, the pool must still accept new batches and
+        // shut down cleanly.
+        batch_scope(
+            2,
+            |_, item: &u32| {
+                if *item == 13 {
+                    panic!("unlucky");
+                }
+                *item
+            },
+            |pool| {
+                let bad = catch_unwind(AssertUnwindSafe(|| pool.run_batch(vec![1, 13, 2, 4])));
+                assert!(bad.is_err());
+                assert_eq!(pool.run_batch(vec![5, 6, 7]), vec![5, 6, 7]);
+            },
+        );
     }
 
     fn cache_in_tmp(tag: &str) -> (RunCache, std::path::PathBuf) {

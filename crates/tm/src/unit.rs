@@ -198,8 +198,8 @@ impl TmUnit {
     }
 
     /// The core hosting `ctx`.
-    pub fn core_of(&self, ctx: CtxId) -> u8 {
-        (ctx / self.smt_per_core as u32) as u8
+    pub fn core_of(&self, ctx: CtxId) -> ltse_mem::CoreId {
+        (ctx / self.smt_per_core as u32) as ltse_mem::CoreId
     }
 
     // ---- lifecycle pass-throughs (see [`ThreadTmState`]) -----------------
@@ -382,7 +382,7 @@ impl TmUnit {
         agg
     }
 
-    fn ctxs_on_core(&self, core: u8) -> std::ops::Range<CtxId> {
+    fn ctxs_on_core(&self, core: ltse_mem::CoreId) -> std::ops::Range<CtxId> {
         let base = core as u32 * self.smt_per_core as u32;
         base..base + self.smt_per_core as u32
     }
@@ -404,7 +404,7 @@ fn sig_op(kind: AccessKind) -> SigOp {
 impl ConflictOracle for TmUnit {
     fn check_core(
         &self,
-        core: u8,
+        core: ltse_mem::CoreId,
         kind: AccessKind,
         block: BlockAddr,
         requester_ctx: u32,
@@ -430,13 +430,13 @@ impl ConflictOracle for TmUnit {
         None
     }
 
-    fn block_is_transactional_hw(&self, core: u8, block: BlockAddr) -> bool {
+    fn block_is_transactional_hw(&self, core: ltse_mem::CoreId, block: BlockAddr) -> bool {
         self.ctxs_on_core(core)
             .filter_map(|c| self.thread(c))
             .any(|t| t.covers_hw(block))
     }
 
-    fn block_is_transactional_exact(&self, core: u8, block: BlockAddr) -> bool {
+    fn block_is_transactional_exact(&self, core: ltse_mem::CoreId, block: BlockAddr) -> bool {
         self.ctxs_on_core(core)
             .filter_map(|c| self.thread(c))
             .any(|t| t.covers_exact(block))

@@ -19,6 +19,14 @@ LTSE_EXPLORE_SCHEDULES=300 cargo test -q --release --test integration_explore
 t_exp1=$(date +%s%N)
 echo "ok: exploration smoke in $(( (t_exp1 - t_exp0) / 1000000 )) ms"
 
+echo "== scale smoke: 64-256-context runs with serializability checks =="
+# The scaled_cmp configurations (64/128/256 cores, square mesh, one bank per
+# core) run Mp3d end to end under the differential serializability oracle.
+t_sc0=$(date +%s%N)
+cargo test -q --release --test integration_scale
+t_sc1=$(date +%s%N)
+echo "ok: scale smoke in $(( (t_sc1 - t_sc0) / 1000000 )) ms"
+
 echo "== stm smoke: differential STM-vs-oracle run =="
 # A reduced case budget keeps this under ~30 s while still running real
 # multi-threaded STM transactions through the serializability oracle.
@@ -27,7 +35,7 @@ LTSE_STM_CASES=60 cargo test -q --release --test integration_stm
 t_stm1=$(date +%s%N)
 echo "ok: stm differential smoke in $(( (t_stm1 - t_stm0) / 1000000 )) ms"
 
-echo "== bench smoke: hotpath + pipeline + obs + stm suites in quick mode =="
+echo "== bench smoke: hotpath + pipeline + obs + stm + scale suites in quick mode =="
 # Asserts both suites run and emit valid JSON with the expected shape; no
 # timing thresholds — CI machines are too noisy for that.
 bench_dir=$(mktemp -d)
@@ -41,8 +49,9 @@ expected_speedups = {
     "pipeline": {"cache_warm_vs_cold", "explore_parallel"},
     "obs": {"obs_off_vs_on"},
     "stm": {"stm_vs_sim_berkeleydb", "stm_vs_sim_raytrace", "stm_vs_sim_mp3d"},
+    "scale": {"per_event_64_vs_128", "per_event_64_vs_256"},
 }
-min_cases = {"hotpath": 7, "pipeline": 4, "obs": 4, "stm": 6}
+min_cases = {"hotpath": 7, "pipeline": 4, "obs": 4, "stm": 6, "scale": 4}
 for bench, speedups in expected_speedups.items():
     with open(os.path.join(d, f"BENCH_{bench}.json")) as f:
         doc = json.load(f)
@@ -54,6 +63,21 @@ for bench, speedups in expected_speedups.items():
         assert c["best_ms"] > 0 and c["mean_ms"] >= c["best_ms"], c
     assert set(doc["speedups"]) == speedups, doc["speedups"]
     print(f"ok: BENCH_{bench} json well-formed, {n} cases")
+
+# BENCH_scale.json additionally records the simulated-run facts: the sweep
+# must cover 64/128/256 cores and include the serializability-checked
+# 256-context run.
+with open(os.path.join(d, "BENCH_scale.json")) as f:
+    doc = json.load(f)
+assert doc["cpus"] >= 1, doc
+runs = doc["runs"]
+sweep_cores = {r["n_cores"] for r in runs if not r["checked"]}
+assert sweep_cores == {64, 128, 256}, sweep_cores
+checked = [r for r in runs if r["checked"]]
+assert checked and all(r["n_ctxs"] == 256 for r in checked), runs
+for r in runs:
+    assert r["commits"] > 0 and r["events"] > 0 and r["cycles"] > 0, r
+print(f"ok: BENCH_scale runs cover {sorted(sweep_cores)} cores + checked 256-ctx run")
 EOF
 
 echo "== determinism smoke: repro --quick, 1 vs. 4 workers =="
