@@ -22,7 +22,8 @@
 //!   multicmp       §7: multiple-CMP partitioning
 //!   nesting        Partial aborts: flat vs. nested (§3.2)
 //!   smt            16×2 SMT vs. 32×1 cores, sibling-conflict cost
-//!   all            Everything above, in order
+//!   oltp           Open-loop OLTP driver: latency SLOs by skew/mix point
+//!   all            Everything above except oltp, in order
 //! ```
 //!
 //! `--quick` runs at reduced scale (for smoke tests); `--csv` emits
@@ -47,11 +48,21 @@
 //! `--backend stm` targets the real-concurrency TL2 STM backend instead of
 //! the cycle-level simulator: it runs every Table-2 workload on both
 //! engines and prints a side-by-side comparison (simulated cycles vs. real
-//! wall clock). Because the STM numbers are wall-clock from real OS
-//! threads, that table is *not* byte-deterministic and the run bypasses
-//! the worker pool and the cache; only the `table2` and `all` subcommands
-//! are meaningful there. The default (`--backend sim`, or no flag) leaves
+//! wall clock), and `oltp` runs every skew/mix point on both engines with
+//! a final-KV-state cross-check. Because the STM numbers are wall-clock
+//! from real OS threads, those tables are *not* byte-deterministic and the
+//! runs bypass the worker pool and the cache; only the `table2`, `oltp`,
+//! and `all` subcommands are meaningful there. `--stats-json` on the STM
+//! branch writes the STM telemetry document: per-cause abort counters
+//! (locked/stale/serial-fallback) mapped onto the obs layer with a
+//! `reconciled` block. The default (`--backend sim`, or no flag) leaves
 //! every other invocation byte-for-byte unchanged.
+//!
+//! `oltp` (simulator by default) reports open-loop commit-latency SLOs
+//! (p50/p99/p999, simulated cycles) and goodput for three Zipfian
+//! skew/read-mix points. It is deliberately *not* part of `all`, keeping
+//! that stdout byte-identical with earlier releases; its sim output is
+//! itself fully deterministic.
 //!
 //! `--cache-dir DIR` (or the `LTSE_CACHE` environment variable) enables the
 //! persistent run cache: repeated sweeps with identical inputs are served
@@ -243,13 +254,30 @@ fn main() {
     // wall clock — no pool, no cache) and exits here so the simulator-only
     // machinery below (stats-json, cache gc) never engages.
     if parse_backend(&args) == ltse_workloads::BackendKind::Stm {
-        let ok = match cmd {
+        let mut ok = match cmd {
             "table2" | "all" => emit(stm_compare(&scale), |r| render::render_stm(r)),
+            "oltp" => emit(oltp_compare(&scale), |r| render::render_oltp(r)),
             other => {
-                eprintln!("subcommand `{other}` is simulator-only; --backend stm supports: table2 all");
+                eprintln!("subcommand `{other}` is simulator-only; --backend stm supports: table2 oltp all");
                 std::process::exit(2);
             }
         };
+        if let Some(path) = parse_stats_json(&args) {
+            match ltse_bench::stats_json::stats_json_stm(&scale) {
+                Ok(doc) => {
+                    if let Err(e) = std::fs::write(&path, &doc) {
+                        eprintln!("error: cannot write stats-json to `{path}`: {e}");
+                        ok = false;
+                    } else {
+                        eprintln!("[stats-json] wrote {} bytes to {path}", doc.len());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: stm stats-json run failed: {e}");
+                    ok = false;
+                }
+            }
+        }
         report_timings();
         std::process::exit(if ok { 0 } else { 1 });
     }
@@ -284,9 +312,13 @@ fn main() {
             "multicmp" => emit(multi_cmp_comparison(&scale), |r| render::render_multi_cmp(r)),
             "nesting" => emit(nesting_ablation(&scale), |r| render::render_nesting(r)),
             "smt" => emit(smt_comparison(&scale), |r| render::render_smt(r)),
+            "oltp" => emit(
+                oltp_experiment(&scale, ltse_workloads::BackendKind::Sim),
+                |r| render::render_oltp(r),
+            ),
             other => {
                 eprintln!("unknown subcommand: {other}");
-                eprintln!("known: table1 table2 figure4 table3 victimization table4 sweep sticky logfilter virt snooping policies multicmp nesting smt all");
+                eprintln!("known: table1 table2 figure4 table3 victimization table4 sweep sticky logfilter virt snooping policies multicmp nesting smt oltp all");
                 std::process::exit(2);
             }
         };

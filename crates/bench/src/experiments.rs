@@ -11,7 +11,10 @@ use logtm_se::{CoherenceKind, Cycle, SignatureKind, SystemBuilder};
 use ltse_sim::config::seed_sequence;
 use ltse_sim::parallel::RunSpec;
 use ltse_sim::stats::SampleSet;
-use ltse_workloads::{run_benchmark, run_on_backend, BackendKind, Benchmark, RunParams, SyncMode};
+use ltse_workloads::{
+    run_benchmark, run_oltp, run_on_backend, BackendKind, Benchmark, OltpConfig, RunParams,
+    SyncMode,
+};
 
 use crate::cache::{fp_params, run_fp};
 use crate::runner::{sweep, sweep_ok, FailedRun, SweepError};
@@ -1216,6 +1219,160 @@ pub fn stm_compare(scale: &ExperimentScale) -> Result<Vec<StmRow>, SweepError> {
     } else {
         Err(SweepError {
             experiment: "stm_compare",
+            runs,
+            failures,
+        })
+    }
+}
+
+/// One row of the `oltp` experiment: a skew/mix point run on one backend.
+#[derive(Debug, Clone)]
+pub struct OltpRow {
+    /// Point name (`uniform_read95`, …).
+    pub point: &'static str,
+    /// Which engine produced the row.
+    pub backend: BackendKind,
+    /// Zipfian theta × 1000 (integers keep the rendering deterministic).
+    pub theta_permille: u32,
+    /// Read percentage of the op mix.
+    pub read_pct: u8,
+    /// Committed transactions (equals the configured total on success).
+    pub committed: u64,
+    /// Aborts-then-retries observed along the way.
+    pub aborts: u64,
+    /// Simulated cycles (sim rows only).
+    pub sim_cycles: Option<u64>,
+    /// Wall-clock milliseconds of the run (only meaningful on stm rows).
+    pub wall_ms: f64,
+    /// p50 commit latency: cycles on sim, nanoseconds on stm.
+    pub p50: u64,
+    /// p99 commit latency.
+    pub p99: u64,
+    /// p999 commit latency.
+    pub p999: u64,
+    /// Order-independent digest of the final KV state.
+    pub kv_fingerprint: u64,
+}
+
+/// The skew/mix points every OLTP artifact reports:
+/// `(name, theta_permille, read_pct)`.
+pub const OLTP_POINTS: [(&str, u32, u8); 3] = [
+    ("uniform_read95", 0, 95),
+    ("zipf80_read80", 800, 80),
+    ("zipf99_read50", 990, 50),
+];
+
+/// The open-loop OLTP configuration for one skew/mix point at experiment
+/// scale.
+pub fn oltp_config(scale: &ExperimentScale, theta_permille: u32, read_pct: u8) -> OltpConfig {
+    OltpConfig {
+        threads: scale.threads,
+        txs_per_thread: scale.units_per_thread * 25,
+        keys: 4096,
+        theta: theta_permille as f64 / 1000.0,
+        read_pct,
+        ops_min: 2,
+        ops_max: 8,
+        mean_gap: 200,
+        seed: scale.base_seed,
+    }
+}
+
+fn oltp_row(
+    point: &'static str,
+    kind: BackendKind,
+    theta_permille: u32,
+    read_pct: u8,
+    cfg: &OltpConfig,
+) -> Result<OltpRow, FailedRun> {
+    let out = run_oltp(kind, cfg, false).map_err(|reason| FailedRun {
+        label: format!("oltp/{point}/{kind}"),
+        reason,
+    })?;
+    Ok(OltpRow {
+        point,
+        backend: kind,
+        theta_permille,
+        read_pct,
+        committed: out.committed_txs,
+        aborts: out.report.aborts,
+        sim_cycles: out.report.sim_cycles,
+        wall_ms: out.report.wall.as_secs_f64() * 1e3,
+        p50: out.latency_permille(500).unwrap_or(0),
+        p99: out.latency_permille(990).unwrap_or(0),
+        p999: out.latency_permille(999).unwrap_or(0),
+        kv_fingerprint: out.kv_fingerprint,
+    })
+}
+
+/// `repro oltp`: the open-loop OLTP skew/mix points on one backend.
+///
+/// Runs sequentially (open-loop latency distributions shouldn't share the
+/// host with sibling runs, and on stm they're wall-clock) and bypasses the
+/// cache. Sim rows are fully deterministic — cycles in, cycles out.
+pub fn oltp_experiment(
+    scale: &ExperimentScale,
+    kind: BackendKind,
+) -> Result<Vec<OltpRow>, SweepError> {
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for (point, theta_permille, read_pct) in OLTP_POINTS {
+        let cfg = oltp_config(scale, theta_permille, read_pct);
+        match oltp_row(point, kind, theta_permille, read_pct, &cfg) {
+            Ok(row) => rows.push(row),
+            Err(f) => failures.push(f),
+        }
+    }
+    if failures.is_empty() {
+        Ok(rows)
+    } else {
+        Err(SweepError {
+            experiment: "oltp",
+            runs: OLTP_POINTS.len(),
+            failures,
+        })
+    }
+}
+
+/// `repro --backend stm oltp`: every skew/mix point on both engines, with
+/// the final-KV-state cross-check (commutative writes must converge to one
+/// state regardless of interleaving — a backend pair that disagrees has a
+/// lost update).
+pub fn oltp_compare(scale: &ExperimentScale) -> Result<Vec<OltpRow>, SweepError> {
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    let mut runs = 0usize;
+    for (point, theta_permille, read_pct) in OLTP_POINTS {
+        let cfg = oltp_config(scale, theta_permille, read_pct);
+        runs += 2;
+        let sim = oltp_row(point, BackendKind::Sim, theta_permille, read_pct, &cfg);
+        let stm = oltp_row(point, BackendKind::Stm, theta_permille, read_pct, &cfg);
+        let (sim, stm) = match (sim, stm) {
+            (Ok(sim), Ok(stm)) => (sim, stm),
+            (sim, stm) => {
+                failures.extend(sim.err());
+                failures.extend(stm.err());
+                continue;
+            }
+        };
+        if sim.kv_fingerprint != stm.kv_fingerprint {
+            failures.push(FailedRun {
+                label: format!("oltp/{point}"),
+                reason: format!(
+                    "final KV state diverged: sim {:016x}, stm {:016x}",
+                    sim.kv_fingerprint, stm.kv_fingerprint
+                ),
+            });
+            continue;
+        }
+        rows.push(sim);
+        rows.push(stm);
+    }
+    if failures.is_empty() {
+        Ok(rows)
+    } else {
+        Err(SweepError {
+            experiment: "oltp",
             runs,
             failures,
         })

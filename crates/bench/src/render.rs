@@ -1,9 +1,10 @@
 //! Aligned-text rendering of experiment results (what `repro` prints).
 
 use crate::experiments::{
-    Fig4Row, LogFilterRow, MultiCmpRow, NestingRow, PolicyRow, SmtRow, SnoopRow, StickyRow,
-    StmRow, SweepRow, Table2Row, Table3Row, VictimRow, VirtRow,
+    Fig4Row, LogFilterRow, MultiCmpRow, NestingRow, OltpRow, PolicyRow, SmtRow, SnoopRow,
+    StickyRow, StmRow, SweepRow, Table2Row, Table3Row, VictimRow, VirtRow,
 };
+use ltse_workloads::BackendKind;
 
 /// Renders the STM-vs-simulator backend comparison. The simulator columns
 /// are deterministic; the `StmWall`/`Stm u/ms` columns are real wall clock
@@ -40,6 +41,70 @@ pub fn render_stm(rows: &[StmRow]) -> String {
             r.stm_commits,
             r.stm_aborts,
             r.stm_units_per_ms
+        ));
+    }
+    out
+}
+
+/// Renders the open-loop OLTP skew/mix points: commit-latency SLOs
+/// (p50/p99/p999) and goodput per point. Sim rows are cycle-denominated
+/// and byte-deterministic; stm rows are wall-clock nanoseconds and vary
+/// run to run (they only appear under `--backend stm`).
+pub fn render_oltp(rows: &[OltpRow]) -> String {
+    let mut out = String::new();
+    out.push_str("OLTP open-loop driver: commit-latency SLOs by skew/mix point\n");
+    out.push_str(&format!(
+        "{:<16} {:>7} {:>6} {:>5} {:>9} {:>8} {:>10} {:>10} {:>10} {:>6} {:>11} {:>16}\n",
+        "Point",
+        "Backend",
+        "Zipf",
+        "Rd%",
+        "Committed",
+        "Aborts",
+        "p50",
+        "p99",
+        "p999",
+        "Unit",
+        "Goodput",
+        "KvFingerprint"
+    ));
+    for r in rows {
+        // Goodput is committed tx per simulated megacycle (deterministic)
+        // on sim, committed tx per wall-clock second on stm.
+        let (unit, goodput) = match r.backend {
+            BackendKind::Sim => {
+                let cycles = r.sim_cycles.unwrap_or(0);
+                let g = if cycles > 0 {
+                    r.committed as f64 * 1e6 / cycles as f64
+                } else {
+                    0.0
+                };
+                ("cyc", format!("{g:>8.3}/Mc"))
+            }
+            BackendKind::Stm => {
+                let secs = r.wall_ms / 1e3;
+                let g = if secs > 0.0 {
+                    r.committed as f64 / secs
+                } else {
+                    0.0
+                };
+                ("ns", format!("{g:>9.0}/s"))
+            }
+        };
+        out.push_str(&format!(
+            "{:<16} {:>7} {:>6} {:>5} {:>9} {:>8} {:>10} {:>10} {:>10} {:>6} {:>11} {:>16}\n",
+            r.point,
+            r.backend.name(),
+            format!("0.{:03}", r.theta_permille),
+            r.read_pct,
+            r.committed,
+            r.aborts,
+            r.p50,
+            r.p99,
+            r.p999,
+            unit,
+            goodput,
+            format!("{:016x}", r.kv_fingerprint)
         ));
     }
     out

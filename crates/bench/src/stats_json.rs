@@ -14,11 +14,13 @@
 
 use logtm_se::{
     ContentionPolicy, CoherenceKind, Cycle, ObsReport, RunReport, SignatureKind, SystemBuilder,
+    TmBackend,
 };
 use ltse_sim::config::seed_sequence;
-use ltse_workloads::{Benchmark, SyncMode};
+use ltse_stm::StmBuilder;
+use ltse_workloads::{run_oltp, BackendKind, Benchmark, OltpOutcome, SyncMode};
 
-use crate::experiments::ExperimentScale;
+use crate::experiments::{oltp_config, ExperimentScale, OLTP_POINTS};
 
 /// Schema tag of the emitted document; bump on any breaking shape change.
 pub const STATS_SCHEMA: &str = "ltse.stats.v1";
@@ -245,8 +247,43 @@ fn row_json(case: &ObsCase, seed: u64, r: &RunReport) -> String {
     s
 }
 
+/// One `oltp_slo` row: commit-latency percentiles and goodput for a
+/// skew/mix point on the simulator. Every value is cycle-denominated or an
+/// integer count, so the section is byte-deterministic like the rest of
+/// the document.
+fn oltp_slo_row_json(
+    point: &str,
+    theta_permille: u32,
+    read_pct: u8,
+    out: &OltpOutcome,
+) -> String {
+    let cycles = out.report.sim_cycles.unwrap_or(0);
+    let goodput = if cycles > 0 {
+        out.committed_txs as f64 * 1e6 / cycles as f64
+    } else {
+        0.0
+    };
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\"point\":\"{point}\",\"backend\":\"sim\",\"theta_permille\":{theta_permille},\"read_pct\":{read_pct},"
+    ));
+    push_kv(&mut s, "committed", out.committed_txs, true);
+    push_kv(&mut s, "aborts", out.report.aborts, true);
+    push_kv(&mut s, "cycles", cycles, true);
+    s.push_str("\"latency_cycles\":{");
+    push_kv(&mut s, "p50", out.latency_permille(500).unwrap_or(0), true);
+    push_kv(&mut s, "p99", out.latency_permille(990).unwrap_or(0), true);
+    push_kv(&mut s, "p999", out.latency_permille(999).unwrap_or(0), false);
+    s.push_str(&format!(
+        "}},\"goodput_tx_per_mcycle\":{goodput:.3},\"kv_fingerprint\":\"{:016x}\"}}",
+        out.kv_fingerprint
+    ));
+    s
+}
+
 /// Runs one observability-enabled simulation per experiment and renders the
-/// full document. Errors name the failing case.
+/// full document, including the `oltp_slo` latency/goodput rows. Errors
+/// name the failing case.
 pub fn stats_json(scale: &ExperimentScale) -> Result<String, String> {
     let seed = seed_sequence(scale.base_seed, 1)[0];
     let mut out = String::new();
@@ -259,6 +296,79 @@ pub fn stats_json(scale: &ExperimentScale) -> Result<String, String> {
         let report = run_case(case, scale, seed)?;
         out.push_str(&row_json(case, seed, &report));
         if i + 1 < cases.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\n\"oltp_slo\":[\n");
+    for (i, (point, theta_permille, read_pct)) in OLTP_POINTS.into_iter().enumerate() {
+        let cfg = oltp_config(scale, theta_permille, read_pct);
+        let o = run_oltp(BackendKind::Sim, &cfg, false).map_err(|e| format!("oltp/{point}: {e}"))?;
+        out.push_str(&oltp_slo_row_json(point, theta_permille, read_pct, &o));
+        if i + 1 < OLTP_POINTS.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    Ok(out)
+}
+
+/// The `--backend stm --stats-json` document: per-cause STM abort counters
+/// mapped onto the obs layer, with a `reconciled` block proving the causes
+/// sum back to the aggregates. Wall-clock execution on real threads means
+/// the *counter values* vary run to run; the reconciliation invariants must
+/// hold on every run.
+pub fn stats_json_stm(scale: &ExperimentScale) -> Result<String, String> {
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n\"schema\":\"{STATS_SCHEMA}\",\n\"backend\":\"stm\",\n\"threads\":{},\n\"units_per_thread\":{},\n\"experiments\":[\n",
+        scale.threads, scale.units_per_thread
+    ));
+    let benchmarks = [Benchmark::BerkeleyDb, Benchmark::Raytrace, Benchmark::Mp3d];
+    for (i, benchmark) in benchmarks.into_iter().enumerate() {
+        let mut system = StmBuilder::new().seed(seed).build();
+        for program in benchmark.programs(SyncMode::Tm, scale.threads, scale.units_per_thread) {
+            system.add_thread(program);
+        }
+        TmBackend::run_backend(&mut system).map_err(|e| format!("stm/{benchmark}: {e}"))?;
+        let r = *system.report().expect("finished run has a report");
+        let obs = system.obs_report().expect("finished run has an obs view");
+        let mut s = String::new();
+        s.push_str(&format!("{{\"benchmark\":\"{benchmark}\",\"stm\":{{"));
+        push_kv(&mut s, "commits", r.commits, true);
+        push_kv(&mut s, "aborts", r.aborts, true);
+        push_kv(&mut s, "aborts_locked", r.aborts_locked, true);
+        push_kv(&mut s, "aborts_stale", r.aborts_stale, true);
+        push_kv(&mut s, "serial_commits", r.serial_commits, true);
+        push_kv(&mut s, "serial_fallbacks", r.serial_fallbacks, true);
+        push_kv(&mut s, "mini_commits", r.mini_commits, true);
+        push_kv(&mut s, "mini_aborts", r.mini_aborts, true);
+        push_kv(&mut s, "work_units", r.work_units, false);
+        s.push_str("},\"obs\":");
+        s.push_str(&obs_json(&obs));
+        let recon = [
+            ("aborts", obs.abort_total() == r.aborts),
+            ("abort_causes", r.aborts_locked + r.aborts_stale == r.aborts),
+            ("spans", obs.spans_committed == r.commits),
+            (
+                "cause_metrics",
+                obs.metrics.get("stm_aborts_locked") == r.aborts_locked
+                    && obs.metrics.get("stm_aborts_stale") == r.aborts_stale
+                    && obs.metrics.get("stm_serial_fallbacks") == r.serial_fallbacks,
+            ),
+        ];
+        s.push_str(",\"reconciled\":{");
+        for (j, (name, ok)) in recon.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{name}\":{ok}"));
+        }
+        s.push_str("}}");
+        out.push_str(&s);
+        if i + 1 < benchmarks.len() {
             out.push(',');
         }
         out.push('\n');
@@ -307,5 +417,32 @@ mod tests {
     #[test]
     fn covers_all_13_sweep_experiments() {
         assert_eq!(cases().len(), 13);
+    }
+
+    #[test]
+    fn document_has_oltp_slo_rows() {
+        let doc = stats_json(&tiny_scale()).expect("all cases run");
+        assert!(doc.contains("\"oltp_slo\":["));
+        for (point, _, _) in OLTP_POINTS {
+            assert!(
+                doc.contains(&format!("\"point\":\"{point}\"")),
+                "{point} SLO row missing"
+            );
+        }
+        assert!(doc.contains("\"p999\":"), "p999 column missing");
+        assert!(doc.contains("\"goodput_tx_per_mcycle\":"));
+    }
+
+    #[test]
+    fn stm_document_reconciles_per_cause_aborts() {
+        let doc = stats_json_stm(&tiny_scale()).expect("stm cases run");
+        assert!(doc.contains(&format!("\"schema\":\"{STATS_SCHEMA}\"")));
+        assert!(doc.contains("\"backend\":\"stm\""));
+        assert!(doc.contains("\"aborts_locked\":"));
+        assert!(doc.contains("\"stm_serial_fallbacks\":"));
+        assert!(
+            !doc.contains("false}") && !doc.contains("false,"),
+            "an stm reconciliation check failed:\n{doc}"
+        );
     }
 }

@@ -145,6 +145,10 @@ pub struct System {
     rng: Xoshiro256StarStar,
     finished: usize,
     events_dispatched: u64,
+    /// Reusable buffer for abort undo-walks, so per-abort bookkeeping does
+    /// not allocate on the hot path (taken with `mem::take`, put back after
+    /// the restore loop).
+    undo_scratch: Vec<(WordAddr, [u64; 8])>,
     trace: Option<TraceBuffer>,
     /// Structured observability ([`SystemBuilder::observe`]); `None` = off,
     /// costing a single null check per instrumented event.
@@ -200,6 +204,7 @@ impl System {
             rng: Xoshiro256StarStar::new(b.seed),
             finished: 0,
             events_dispatched: 0,
+            undo_scratch: Vec::new(),
             trace: (b.trace_capacity > 0).then(|| TraceBuffer::new(b.trace_capacity)),
             obs: b.observe.then(|| Box::new(ObsCore::new(b.obs_span_capacity))),
             warmup_remaining: b.warmup_units,
@@ -359,6 +364,13 @@ impl System {
             self.queue.push(p.quantum, Ev::PreemptTick);
         }
 
+        // Keep the dispatch counter and limits in locals: the per-event loop
+        // is the hottest path in the simulator and `self.events_dispatched`
+        // is only observable between runs, so batching the writeback (flushed
+        // on every exit path) keeps the bookkeeping off the critical path.
+        let max_cycles = self.limits.max_cycles;
+        let max_events = self.limits.max_events;
+        let mut dispatched = self.events_dispatched;
         loop {
             let next = match explored.as_mut() {
                 Some((chooser, window, horizon)) => {
@@ -367,14 +379,16 @@ impl System {
                 None => self.queue.pop(),
             };
             let Some((now, ev)) = next else { break };
-            self.events_dispatched += 1;
-            if now > self.limits.max_cycles {
+            dispatched += 1;
+            if now > max_cycles {
+                self.events_dispatched = dispatched;
                 return Err(RunError::CycleLimit {
                     at: now,
                     unfinished: self.threads.len() - self.finished,
                 });
             }
-            if self.events_dispatched > self.limits.max_events {
+            if dispatched > max_events {
+                self.events_dispatched = dispatched;
                 return Err(RunError::EventLimit);
             }
             match ev {
@@ -386,6 +400,7 @@ impl System {
                 break;
             }
         }
+        self.events_dispatched = dispatched;
 
         Ok(self.report())
     }
@@ -448,6 +463,11 @@ impl System {
     // ------------------------------------------------------------------
     fn translate(&self, asid: Asid, addr: WordAddr) -> WordAddr {
         const WORDS_PER_PAGE: u64 = 512; // 4 KB pages of 8-byte words
+        if self.page_tables.is_empty() {
+            // Most runs never relocate a page; skip the per-access hash
+            // lookup entirely until the first relocation installs a table.
+            return addr;
+        }
         if TmUnit::is_log_block(addr.block()) {
             return addr; // log regions are identity-mapped
         }
@@ -858,7 +878,7 @@ impl System {
                 .tm
                 .thread(ctx)
                 .map_or(0, |t| t.stats.partial_aborts);
-            let mut undo: Vec<(WordAddr, [u64; 8])> = Vec::new();
+            let mut undo = std::mem::take(&mut self.undo_scratch);
             let handler = self.tm.abort_innermost(ctx, &mut |base, old| {
                 undo.push((base, *old));
             });
@@ -866,7 +886,7 @@ impl System {
                 o.abort_innermost(tid);
             }
             let mut traffic = Cycle::ZERO;
-            for (vbase, old) in undo {
+            for (vbase, old) in undo.drain(..) {
                 let pbase = self.translate(asid, vbase);
                 let out = self.mem.access(ctx, AccessKind::Store, pbase.block(), &self.tm);
                 traffic += out.latency();
@@ -874,6 +894,7 @@ impl System {
                     self.mem.write_word(pbase.offset(i as u64), *w);
                 }
             }
+            self.undo_scratch = undo;
             self.drain_overflow_events();
             // Delta-counted against the TM stats so the obs metric equals
             // `TmStats::partial_aborts` by construction (this fires whether
@@ -912,7 +933,7 @@ impl System {
             .tm
             .thread(ctx)
             .map_or((0, 0), |t| (t.stats.aborts, t.stats.wasted_cycles));
-        let mut undo: Vec<(WordAddr, [u64; 8])> = Vec::new();
+        let mut undo = std::mem::take(&mut self.undo_scratch);
         let costs = self.tm.abort_tx(ctx, now, &mut |base, old| {
             undo.push((base, *old));
         });
@@ -925,7 +946,7 @@ impl System {
         // until the walk completes).
         let asid = self.threads[tid as usize].asid;
         let mut traffic = Cycle::ZERO;
-        for (vbase, old) in undo {
+        for (vbase, old) in undo.drain(..) {
             // Undo records hold virtual addresses; translate at restore
             // time so a relocated page is restored at its new home (§4.2).
             let pbase = self.translate(asid, vbase);
@@ -935,6 +956,7 @@ impl System {
                 self.mem.write_word(pbase.offset(i as u64), *w);
             }
         }
+        self.undo_scratch = undo;
         self.drain_overflow_events();
         // Delta-counted so `ObsReport::abort_total` equals `TmStats::aborts`
         // by construction, whatever `abort_tx` decided to charge.
@@ -986,13 +1008,13 @@ impl System {
         asid: Asid,
         victim: u32,
     ) -> Cycle {
-        let mut undo: Vec<(WordAddr, [u64; 8])> = Vec::new();
+        let mut undo = std::mem::take(&mut self.undo_scratch);
         let mut cost = self
             .os
             .abort_parked(&mut self.tm, asid, victim, now, &mut |base, old| {
                 undo.push((base, *old));
             });
-        for (vbase, old) in undo {
+        for (vbase, old) in undo.drain(..) {
             let pbase = self.translate(asid, vbase);
             let out = self
                 .mem
@@ -1002,6 +1024,7 @@ impl System {
                 self.mem.write_word(pbase.offset(i as u64), *w);
             }
         }
+        self.undo_scratch = undo;
         self.drain_overflow_events();
         if let Some(o) = self.obs.as_deref_mut() {
             // `OsLayer::abort_parked` asserts the victim is in a transaction

@@ -1,7 +1,7 @@
 //! Deterministic event queue.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 use crate::time::Cycle;
 
@@ -59,6 +59,21 @@ impl<E> Ord for Entry<E> {
 /// widen the window via [`EventQueue::with_buckets`].
 pub const DEFAULT_BUCKETS: usize = 256;
 
+/// Sentinel index terminating intrusive node lists (and the freelist).
+const NIL: u32 = u32::MAX;
+
+/// An arena slot: one pending event threaded into its bucket's singly
+/// linked list (or parked on the freelist, `payload == None`).
+struct Node<E> {
+    time: Cycle,
+    seq: u64,
+    /// Next node in this bucket's seq-ordered list, or next free slot.
+    next: u32,
+    /// `Some` while pending; taken on pop, leaving the slot to the
+    /// freelist without moving the node.
+    payload: Option<E>,
+}
+
 /// A priority queue of timestamped events with deterministic ordering.
 ///
 /// Events pop in nondecreasing [`Cycle`] order; events scheduled for the same
@@ -77,6 +92,21 @@ pub const DEFAULT_BUCKETS: usize = 256;
 /// plain heap produced, including [`EventQueue::pop_explored`] semantics —
 /// the differential tests below pin this down.
 ///
+/// Storage is a node **arena with a freelist**: each bucket is a 4-byte head
+/// index into one shared slab of intrusive singly linked nodes, so pushing
+/// and popping never allocates after warm-up and the bucket header array
+/// stays small enough to sit in cache even at the 4096-bucket windows
+/// 256-context systems use (a `VecDeque` per bucket cost 32 bytes of header
+/// per slot plus a separate heap block each — the dominant per-event cost at
+/// scale before this layout).
+///
+/// The occupancy bitmap is **banked**: buckets are grouped into 64-slot
+/// banks (one occupancy word each) and a second-level bank summary marks
+/// which banks are non-empty, so the next-event scan jumps straight to the
+/// first occupied bank instead of walking empty occupancy words. Banking is
+/// a pure scan-path optimization — [`EventQueue::with_buckets_unbanked`]
+/// keeps the linear scan for A/B benchmarking and must pop identically.
+///
 /// # Example
 ///
 /// ```
@@ -92,15 +122,29 @@ pub const DEFAULT_BUCKETS: usize = 256;
 /// assert_eq!(q.pop(), Some((Cycle(2), Ev::Tock)));
 /// ```
 pub struct EventQueue<E> {
-    /// Ring of one-cycle buckets; slot `t & mask` holds entries for
-    /// time `t` while `t` lies inside the window. Each bucket stays sorted
-    /// by `seq` (plain pushes append — their seq is the largest so far;
-    /// exploration re-pushes insert by binary search).
-    buckets: Vec<VecDeque<Entry<E>>>,
-    /// `buckets.len() - 1`; the length is a power of two.
+    /// Ring of one-cycle buckets; slot `t & mask` holds the head of a
+    /// seq-sorted intrusive list of entries for time `t` while `t` lies
+    /// inside the window (plain pushes append — their seq is the largest so
+    /// far; exploration re-pushes walk to their slot).
+    heads: Vec<u32>,
+    /// Per-bucket list tails, for O(1) appends. Only meaningful while the
+    /// bucket is non-empty.
+    tails: Vec<u32>,
+    /// Node arena backing every bucket list; freed slots chain through
+    /// [`Node::next`] from `free`.
+    nodes: Vec<Node<E>>,
+    /// Freelist head into `nodes`, or [`NIL`].
+    free: u32,
+    /// `heads.len() - 1`; the length is a power of two.
     mask: u64,
-    /// Occupancy bitmap over `buckets`, for O(words) next-event scans.
+    /// Occupancy bitmap over buckets, for O(words) next-event scans.
     occ: Vec<u64>,
+    /// Bank summary over `occ`: bit `w` set iff `occ[w] != 0`. Lets the
+    /// scan skip empty 64-bucket banks in one `trailing_zeros`.
+    bank_occ: Vec<u64>,
+    /// Whether the scan consults `bank_occ` (see
+    /// [`EventQueue::with_buckets_unbanked`]).
+    banked: bool,
     /// Total entries across all buckets.
     bucket_len: usize,
     /// Start of the bucket window. Only ever advances, and only to the
@@ -137,14 +181,32 @@ impl<E> EventQueue<E> {
     /// Panics unless `n` is a power of two and at least 64 (one occupancy
     /// word).
     pub fn with_buckets(n: usize) -> Self {
+        Self::build(n, true)
+    }
+
+    /// Like [`EventQueue::with_buckets`] but with the bank-summary scan
+    /// disabled: next-event scans walk occupancy words linearly. Pop order is
+    /// identical; this exists purely as the measurement baseline for the
+    /// banked/unbanked A/B in the scale benchmark.
+    pub fn with_buckets_unbanked(n: usize) -> Self {
+        Self::build(n, false)
+    }
+
+    fn build(n: usize, banked: bool) -> Self {
         assert!(
             n.is_power_of_two() && n >= 64,
             "bucket count must be a power of two >= 64, got {n}"
         );
+        let occ_words = n / 64;
         EventQueue {
-            buckets: (0..n).map(|_| VecDeque::new()).collect(),
+            heads: vec![NIL; n],
+            tails: vec![NIL; n],
+            nodes: Vec::new(),
+            free: NIL,
             mask: n as u64 - 1,
-            occ: vec![0; n / 64],
+            occ: vec![0; occ_words],
+            bank_occ: vec![0; occ_words.div_ceil(64)],
+            banked,
             bucket_len: 0,
             window_start: Cycle::ZERO,
             heap: BinaryHeap::new(),
@@ -155,7 +217,50 @@ impl<E> EventQueue<E> {
 
     /// Number of calendar buckets (the window width in cycles).
     pub fn n_buckets(&self) -> usize {
-        self.buckets.len()
+        self.heads.len()
+    }
+
+    /// Grabs an arena slot for `e` (reusing the freelist when possible) and
+    /// returns its index. The node's `next` is left as [`NIL`].
+    #[inline]
+    fn alloc_node(&mut self, e: Entry<E>) -> u32 {
+        let node = Node {
+            time: e.time,
+            seq: e.seq,
+            next: NIL,
+            payload: Some(e.payload),
+        };
+        if self.free != NIL {
+            let idx = self.free;
+            let slot = &mut self.nodes[idx as usize];
+            self.free = slot.next;
+            *slot = node;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            assert!(idx != NIL, "event arena exhausted");
+            self.nodes.push(node);
+            idx
+        }
+    }
+
+    /// Marks bucket `idx` occupied in both bitmap levels.
+    #[inline]
+    fn set_occ(&mut self, idx: usize) {
+        let w = idx / 64;
+        self.occ[w] |= 1u64 << (idx % 64);
+        self.bank_occ[w / 64] |= 1u64 << (w % 64);
+    }
+
+    /// Clears bucket `idx` from the occupancy bitmap, dropping the bank
+    /// summary bit when its whole bank empties.
+    #[inline]
+    fn clear_occ(&mut self, idx: usize) {
+        let w = idx / 64;
+        self.occ[w] &= !(1u64 << (idx % 64));
+        if self.occ[w] == 0 {
+            self.bank_occ[w / 64] &= !(1u64 << (w % 64));
+        }
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
@@ -190,7 +295,7 @@ impl<E> EventQueue<E> {
     /// heap by its timestamp.
     fn push_entry(&mut self, e: Entry<E>) {
         if e.time >= self.window_start
-            && e.time.0 - self.window_start.0 < self.buckets.len() as u64
+            && e.time.0 - self.window_start.0 < self.heads.len() as u64
         {
             self.bucket_insert(e);
         } else {
@@ -202,28 +307,92 @@ impl<E> EventQueue<E> {
     /// path is a plain append: ordinary pushes always carry the largest seq.
     fn bucket_insert(&mut self, e: Entry<E>) {
         let idx = (e.time.0 & self.mask) as usize;
-        let dq = &mut self.buckets[idx];
-        debug_assert!(dq.back().is_none_or(|b| b.time == e.time));
-        match dq.back() {
-            Some(b) if b.seq > e.seq => {
-                let pos = dq.partition_point(|x| x.seq < e.seq);
-                dq.insert(pos, e);
+        let time = e.time;
+        let seq = e.seq;
+        let node = self.alloc_node(e);
+        let tail = self.tails[idx];
+        if tail == NIL {
+            self.heads[idx] = node;
+            self.tails[idx] = node;
+            self.set_occ(idx);
+        } else if self.nodes[tail as usize].seq < seq {
+            // Fast path: ordinary pushes carry the largest seq so far.
+            debug_assert_eq!(self.nodes[tail as usize].time, time);
+            self.nodes[tail as usize].next = node;
+            self.tails[idx] = node;
+        } else {
+            // Exploration re-push: walk the (short) list to the seq slot.
+            debug_assert_eq!(self.nodes[self.heads[idx] as usize].time, time);
+            let mut prev = NIL;
+            let mut cur = self.heads[idx];
+            while cur != NIL && self.nodes[cur as usize].seq < seq {
+                prev = cur;
+                cur = self.nodes[cur as usize].next;
             }
-            _ => dq.push_back(e),
+            self.nodes[node as usize].next = cur;
+            if prev == NIL {
+                self.heads[idx] = node;
+            } else {
+                self.nodes[prev as usize].next = node;
+            }
+            if cur == NIL {
+                self.tails[idx] = node;
+            }
         }
-        self.occ[idx / 64] |= 1u64 << (idx % 64);
         self.bucket_len += 1;
     }
 
     /// Removes the front entry of the bucket for time `t`.
     fn pop_bucket(&mut self, t: Cycle) -> Entry<E> {
         let idx = (t.0 & self.mask) as usize;
-        let e = self.buckets[idx].pop_front().expect("pop from empty bucket");
-        if self.buckets[idx].is_empty() {
-            self.occ[idx / 64] &= !(1u64 << (idx % 64));
+        let head = self.heads[idx];
+        debug_assert!(head != NIL, "pop from empty bucket");
+        let node = &mut self.nodes[head as usize];
+        let e = Entry {
+            time: node.time,
+            seq: node.seq,
+            payload: node.payload.take().expect("pending node has a payload"),
+        };
+        let next = node.next;
+        node.next = self.free;
+        self.free = head;
+        self.heads[idx] = next;
+        if next == NIL {
+            self.tails[idx] = NIL;
+            self.clear_occ(idx);
         }
         self.bucket_len -= 1;
         e
+    }
+
+    /// Index of the first non-zero occupancy word in `[from, last]`, using
+    /// the bank summary to skip empty banks when enabled.
+    #[inline]
+    fn next_occupied_word(&self, from: usize, last: usize) -> Option<usize> {
+        if self.banked {
+            let mut bw = from / 64;
+            let last_bw = last / 64;
+            let mut bank = self.bank_occ[bw] & (!0u64 << (from % 64));
+            loop {
+                while bank != 0 {
+                    let w = bw * 64 + bank.trailing_zeros() as usize;
+                    if w > last {
+                        return None;
+                    }
+                    if w >= from {
+                        return Some(w);
+                    }
+                    bank &= bank - 1;
+                }
+                if bw == last_bw {
+                    return None;
+                }
+                bw += 1;
+                bank = self.bank_occ[bw];
+            }
+        } else {
+            (from..=last).find(|&w| self.occ[w] != 0)
+        }
     }
 
     /// First occupied bucket bit in `[lo, hi)`, if any.
@@ -231,11 +400,11 @@ impl<E> EventQueue<E> {
         if lo >= hi {
             return None;
         }
-        let mut w = lo / 64;
         let last_w = (hi - 1) / 64;
-        let mut word = self.occ[w] & (!0u64 << (lo % 64));
+        // Partial first word: mask off bits below `lo`.
+        let mut w = lo / 64;
+        let mut masked = self.occ[w] & (!0u64 << (lo % 64));
         loop {
-            let mut masked = word;
             if w == last_w {
                 let top = hi - w * 64;
                 if top < 64 {
@@ -248,8 +417,8 @@ impl<E> EventQueue<E> {
             if w == last_w {
                 return None;
             }
-            w += 1;
-            word = self.occ[w];
+            w = self.next_occupied_word(w + 1, last_w)?;
+            masked = self.occ[w];
         }
     }
 
@@ -261,12 +430,12 @@ impl<E> EventQueue<E> {
         }
         let s = (self.window_start.0 & self.mask) as usize;
         let p = self
-            .first_occupied_in(s, self.buckets.len())
+            .first_occupied_in(s, self.heads.len())
             .or_else(|| self.first_occupied_in(0, s))
             .expect("bucket_len > 0 but occupancy bitmap empty");
         let dist = (p.wrapping_sub(s) as u64) & self.mask;
         let t = Cycle(self.window_start.0 + dist);
-        let front = self.buckets[p].front().expect("occupied bucket");
+        let front = &self.nodes[self.heads[p] as usize];
         debug_assert_eq!(front.time, t);
         Some((t, front.seq))
     }
@@ -278,7 +447,7 @@ impl<E> EventQueue<E> {
         if t > self.window_start {
             self.window_start = t;
         }
-        let horizon = self.window_start.0.saturating_add(self.buckets.len() as u64);
+        let horizon = self.window_start.0.saturating_add(self.heads.len() as u64);
         while let Some(top) = self.heap.peek() {
             if top.time.0 >= horizon {
                 break;
@@ -409,11 +578,13 @@ impl<E> EventQueue<E> {
     /// Drops all pending events, keeping the clock where it is.
     pub fn clear(&mut self) {
         if self.bucket_len > 0 {
-            for dq in &mut self.buckets {
-                dq.clear();
-            }
+            self.heads.fill(NIL);
+            self.tails.fill(NIL);
         }
+        self.nodes.clear();
+        self.free = NIL;
         self.occ.fill(0);
+        self.bank_occ.fill(0);
         self.bucket_len = 0;
         self.heap.clear();
     }
@@ -669,10 +840,14 @@ mod tests {
 
     #[test]
     fn bucket_widths_agree_on_pop_order() {
-        // The bucket count is a pure performance knob: any width must
-        // produce the identical pop sequence.
-        let mut queues: Vec<EventQueue<u64>> =
-            [64, 256, 1024].into_iter().map(EventQueue::with_buckets).collect();
+        // The bucket count (and the bank-summary toggle) is a pure
+        // performance knob: any configuration must produce the identical
+        // pop sequence.
+        let mut queues: Vec<EventQueue<u64>> = [64, 256, 1024]
+            .into_iter()
+            .map(EventQueue::with_buckets)
+            .chain([64, 1024].into_iter().map(EventQueue::with_buckets_unbanked))
+            .collect();
         let mut state = 0x1234_5678_9abc_def0u64;
         let mut t = 0u64;
         for i in 0..500u64 {
@@ -684,8 +859,9 @@ mod tests {
         }
         loop {
             let got: Vec<_> = queues.iter_mut().map(|q| q.pop()).collect();
-            assert_eq!(got[0], got[1]);
-            assert_eq!(got[0], got[2]);
+            for other in &got[1..] {
+                assert_eq!(&got[0], other);
+            }
             if got[0].is_none() {
                 break;
             }
@@ -780,6 +956,7 @@ mod tests {
     fn differential_random_push_pop_matches_reference() {
         crate::check::cases(60, 0x5EED_CA1E, |rng| {
             let mut cal: EventQueue<u32> = EventQueue::new();
+            let mut flat: EventQueue<u32> = EventQueue::with_buckets_unbanked(DEFAULT_BUCKETS);
             let mut refq: RefQueue<u32> = RefQueue::new();
             let mut next_payload = 0u32;
             for _ in 0..400 {
@@ -795,16 +972,22 @@ mod tests {
                     };
                     let at = Cycle(cal.now().0 + delta);
                     cal.push(at, next_payload);
+                    flat.push(at, next_payload);
                     refq.push(at, next_payload);
                     next_payload += 1;
                 } else {
-                    assert_eq!(cal.pop(), refq.pop());
+                    let expect = refq.pop();
+                    assert_eq!(cal.pop(), expect);
+                    assert_eq!(flat.pop(), expect);
                 }
                 assert_eq!(cal.len(), refq.heap.len());
                 assert_eq!(cal.peek_time(), refq.heap.peek().map(|e| e.time));
+                assert_eq!(flat.peek_time(), cal.peek_time());
             }
             while !cal.is_empty() {
-                assert_eq!(cal.pop(), refq.pop());
+                let expect = refq.pop();
+                assert_eq!(cal.pop(), expect);
+                assert_eq!(flat.pop(), expect);
             }
             assert!(refq.heap.is_empty());
         });
@@ -817,13 +1000,15 @@ mod tests {
     fn differential_random_pop_explored_matches_reference() {
         crate::check::cases(40, 0xE0E0_57AC, |rng| {
             let mut cal: EventQueue<u32> = EventQueue::new();
+            let mut flat: EventQueue<u32> = EventQueue::with_buckets_unbanked(DEFAULT_BUCKETS);
             let mut refq: RefQueue<u32> = RefQueue::new();
             let mut next_payload = 0u32;
-            // Both sides must see the same choice sequence.
+            // All sides must see the same choice sequence.
             let picks: Vec<usize> =
                 (0..200).map(|_| rng.gen_range(0, 6) as usize).collect();
             let mut c1 = Fixed(picks.clone(), 0);
-            let mut c2 = Fixed(picks, 0);
+            let mut c2 = Fixed(picks.clone(), 0);
+            let mut c3 = Fixed(picks, 0);
             for _ in 0..300 {
                 let action = rng.gen_range(0, 4);
                 if action < 2 || cal.is_empty() {
@@ -834,23 +1019,29 @@ mod tests {
                     };
                     let at = Cycle(cal.now().0 + delta);
                     cal.push(at, next_payload);
+                    flat.push(at, next_payload);
                     refq.push(at, next_payload);
                     next_payload += 1;
                 } else if action == 2 {
-                    assert_eq!(cal.pop(), refq.pop());
+                    let expect = refq.pop();
+                    assert_eq!(cal.pop(), expect);
+                    assert_eq!(flat.pop(), expect);
                 } else {
                     let horizon = Cycle(rng.gen_range(0, 400));
                     let window = 1 + rng.gen_range(0, 4) as usize;
-                    assert_eq!(
-                        cal.pop_explored(&mut c1, horizon, window),
-                        refq.pop_explored(&mut c2, horizon, window)
-                    );
+                    let expect = refq.pop_explored(&mut c2, horizon, window);
+                    assert_eq!(cal.pop_explored(&mut c1, horizon, window), expect);
+                    assert_eq!(flat.pop_explored(&mut c3, horizon, window), expect);
                     assert_eq!(c1.1, c2.1, "choosers must be consulted identically");
+                    assert_eq!(c3.1, c2.1, "choosers must be consulted identically");
                 }
                 assert_eq!(cal.len(), refq.heap.len());
+                assert_eq!(flat.len(), refq.heap.len());
             }
             while !cal.is_empty() {
-                assert_eq!(cal.pop(), refq.pop());
+                let expect = refq.pop();
+                assert_eq!(cal.pop(), expect);
+                assert_eq!(flat.pop(), expect);
             }
         });
     }

@@ -191,11 +191,26 @@ impl Histogram {
     /// Panics if `p > 100`.
     pub fn percentile(&self, p: u8) -> Option<u64> {
         assert!(p <= 100, "percentile must be 0..=100");
+        self.percentile_permille(p as u32 * 10)
+    }
+
+    /// The `p`-th permille (0–1000) by the same nearest-rank method —
+    /// `percentile_permille(999)` is the p999 tail an SLO report needs,
+    /// which the integer-percent API cannot express. `percentile(p)` is
+    /// exactly `percentile_permille(10 * p)`.
+    ///
+    /// Sorted-vector definition: element `max(1, ceil(p·N/1000)) - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p > 1000`.
+    pub fn percentile_permille(&self, p: u32) -> Option<u64> {
+        assert!(p <= 1000, "permille must be 0..=1000");
         if self.total == 0 {
             return None;
         }
         // u128 keeps `p * total` exact for any u64 population count.
-        let rank = ((p as u128 * self.total as u128).div_ceil(100) as u64).max(1);
+        let rank = ((p as u128 * self.total as u128).div_ceil(1000) as u64).max(1);
         let mut seen = 0;
         for (&v, &n) in &self.buckets {
             seen += n;
@@ -527,6 +542,71 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Differential check of the permille percentile (the p999 path)
+    /// against the sorted-vector nearest-rank reference, across the full
+    /// 0..=1000 range — extends the percent-granularity test above to the
+    /// finer SLO grid, including populations around the 1000-observation
+    /// boundary where p999 first distinguishes itself from p100.
+    #[test]
+    fn histogram_permille_matches_sorted_vector_reference() {
+        fn reference(sorted: &[u64], p: u32) -> u64 {
+            let n = sorted.len() as u64;
+            let rank = ((p as u64 * n).div_ceil(1000)).max(1);
+            sorted[(rank - 1) as usize]
+        }
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for &n in &[1usize, 2, 999, 1000, 1001, 4096] {
+            let mut h = Histogram::new();
+            let mut values: Vec<u64> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = next() % 37;
+                h.record(v);
+                values.push(v);
+            }
+            values.sort_unstable();
+            for p in 0..=1000u32 {
+                assert_eq!(
+                    h.percentile_permille(p),
+                    Some(reference(&values, p)),
+                    "n={n} p={p}"
+                );
+            }
+            // Percent and permille grids must agree where they overlap.
+            for p in 0..=100u8 {
+                assert_eq!(h.percentile(p), h.percentile_permille(p as u32 * 10), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_p999_separates_the_tail() {
+        // 999 fast observations and one slow outlier: p99 (rank ceil(0.99
+        // * 1000) = 990) stays fast, p999 (rank 999) stays fast, p1000
+        // finds the outlier; with *two* outliers p999 catches the first.
+        let mut h = Histogram::new();
+        for _ in 0..999 {
+            h.record(10);
+        }
+        h.record(5_000);
+        assert_eq!(h.percentile_permille(990), Some(10));
+        assert_eq!(h.percentile_permille(999), Some(10));
+        assert_eq!(h.percentile_permille(1000), Some(5_000));
+        h.record(6_000); // 1001 obs: rank ceil(999*1001/1000) = 1000 → 5000
+        assert_eq!(h.percentile_permille(999), Some(5_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "permille must be 0..=1000")]
+    fn histogram_permille_rejects_out_of_range() {
+        let mut h = Histogram::new();
+        h.record(1);
+        let _ = h.percentile_permille(1001);
     }
 
     #[test]

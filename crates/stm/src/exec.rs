@@ -49,6 +49,7 @@ use std::time::{Duration, Instant};
 use logtm_se::{Cycle, Op, ProgCtx, ThreadProgram, WordAddr};
 use ltse_mem::SerializabilityOracle;
 use ltse_sim::config::seed_sequence;
+use ltse_sim::obs::ObsReport;
 use ltse_sim::rng::Xoshiro256StarStar;
 
 use crate::core::{CommitInfo, Conflict, SerialToken, Stm, StmConfig, Tx};
@@ -143,7 +144,10 @@ struct TxRecord {
 struct WorkerStats {
     commits: u64,
     aborts: u64,
+    aborts_locked: u64,
+    aborts_stale: u64,
     serial_commits: u64,
+    serial_fallbacks: u64,
     mini_commits: u64,
     mini_aborts: u64,
     work_units: u64,
@@ -156,7 +160,10 @@ impl WorkerStats {
     fn merge(&mut self, o: &WorkerStats) {
         self.commits += o.commits;
         self.aborts += o.aborts;
+        self.aborts_locked += o.aborts_locked;
+        self.aborts_stale += o.aborts_stale;
         self.serial_commits += o.serial_commits;
+        self.serial_fallbacks += o.serial_fallbacks;
         self.mini_commits += o.mini_commits;
         self.mini_aborts += o.mini_aborts;
         self.work_units += o.work_units;
@@ -182,8 +189,17 @@ pub struct StmReport {
     pub commits: u64,
     /// Transactional aborts (each followed by a retry).
     pub aborts: u64,
+    /// Aborts caused by hitting a stripe locked by another writer
+    /// (`Conflict::Locked`). `aborts_locked + aborts_stale == aborts`.
+    pub aborts_locked: u64,
+    /// Aborts caused by a stripe version newer than the read timestamp
+    /// (`Conflict::Stale`).
+    pub aborts_stale: u64,
     /// Commits that ran under the serial fallback token.
     pub serial_commits: u64,
+    /// Times a transaction escalated to the serial token after exhausting
+    /// [`StmConfig::max_retries`] consecutive aborts.
+    pub serial_fallbacks: u64,
     /// Single-op transactions for accesses outside any transaction.
     pub mini_commits: u64,
     /// Retries of those single-op transactions.
@@ -440,7 +456,10 @@ impl StmSystem {
             wall,
             commits: stats.commits,
             aborts: stats.aborts,
+            aborts_locked: stats.aborts_locked,
+            aborts_stale: stats.aborts_stale,
             serial_commits: stats.serial_commits,
+            serial_fallbacks: stats.serial_fallbacks,
             mini_commits: stats.mini_commits,
             mini_aborts: stats.mini_aborts,
             work_units: stats.work_units,
@@ -451,6 +470,30 @@ impl StmSystem {
         };
         self.report = Some(report);
         Ok(report)
+    }
+
+    /// The run's counters re-expressed as the simulator's [`ObsReport`], so
+    /// `--stats-json` rows reconcile for the STM backend the same way they
+    /// do for the simulator. Retry aborts land in `aborts_conflict` (the
+    /// conflict-resolution bucket — the only abort cause a TL2 STM has),
+    /// with the finer cause split and the serial-fallback count exported
+    /// through the metric registry. `None` before a successful `run`.
+    pub fn obs_report(&self) -> Option<ObsReport> {
+        let r = self.report?;
+        let mut obs = ObsReport {
+            aborts_conflict: r.aborts,
+            spans_committed: r.commits,
+            spans_aborted: r.aborts,
+            ..ObsReport::default()
+        };
+        obs.metrics.add("stm_aborts_locked", r.aborts_locked);
+        obs.metrics.add("stm_aborts_stale", r.aborts_stale);
+        obs.metrics.add("stm_serial_fallbacks", r.serial_fallbacks);
+        obs.metrics.add("stm_serial_commits", r.serial_commits);
+        obs.metrics.add("stm_mini_commits", r.mini_commits);
+        obs.metrics.add("stm_mini_aborts", r.mini_aborts);
+        obs.metrics.add("stm_max_retry_streak", r.max_retry_streak as u64);
+        Some(obs)
     }
 
     /// Replays the recorded history through a fresh [`SerializabilityOracle`]
@@ -592,8 +635,9 @@ impl<'a> Worker<'a> {
     }
 
     /// Aborts the live transaction: discard state, tell the program to
-    /// rewind, back off.
-    fn abort(&mut self, program: &mut dyn ThreadProgram) {
+    /// rewind, back off. `cause` attributes the abort in the stats (and,
+    /// via [`StmSystem::obs_report`], the observability layer).
+    fn abort(&mut self, program: &mut dyn ThreadProgram, cause: Conflict) {
         debug_assert!(self.token.is_none(), "serial transactions cannot abort");
         self.tx = None;
         self.token = None;
@@ -602,6 +646,13 @@ impl<'a> Worker<'a> {
         self.rec.clear();
         self.retries += 1;
         self.stats.aborts += 1;
+        match cause {
+            Conflict::Locked { .. } => self.stats.aborts_locked += 1,
+            Conflict::Stale { .. } => self.stats.aborts_stale += 1,
+            // TableFull is fatal and handled before reaching here; count it
+            // as locked-like if it ever slips through rather than panic.
+            Conflict::TableFull => self.stats.aborts_locked += 1,
+        }
         self.stats.max_retry_streak = self.stats.max_retry_streak.max(self.retries);
         let mut ctx = ProgCtx {
             thread_id: self.tid,
@@ -688,6 +739,7 @@ impl<'a> Worker<'a> {
                     if self.depth == 0 {
                         if self.retries >= self.cfg.max_retries {
                             self.token = Some(self.stm.serial_token());
+                            self.stats.serial_fallbacks += 1;
                         }
                         self.tx = Some(match &self.token {
                             Some(tok) => self.stm.begin_serial(tok),
@@ -723,7 +775,7 @@ impl<'a> Worker<'a> {
                             Err(Conflict::TableFull) => {
                                 return Err(StmError::TableFull { thread: self.tid })
                             }
-                            Err(_) => self.abort(program.as_mut()),
+                            Err(c) => self.abort(program.as_mut(), c),
                         }
                     }
                 },
@@ -771,7 +823,7 @@ impl<'a> Worker<'a> {
                 Err(Conflict::TableFull) => {
                     return Err(StmError::TableFull { thread: self.tid })
                 }
-                Err(_) => self.abort(program),
+                Err(c) => self.abort(program, c),
             }
         } else {
             // Bare load: a read-only mini transaction (commit cannot fail),
@@ -837,7 +889,7 @@ impl<'a> Worker<'a> {
                 Err(Conflict::TableFull) => {
                     return Err(StmError::TableFull { thread: self.tid })
                 }
-                Err(_) => self.abort(program),
+                Err(c) => self.abort(program, c),
             }
         } else {
             let (seen, info) = self.mini(|tx| {
@@ -891,7 +943,7 @@ impl<'a> Worker<'a> {
                 Err(Conflict::TableFull) => {
                     return Err(StmError::TableFull { thread: self.tid })
                 }
-                Err(_) => self.abort(program),
+                Err(c) => self.abort(program, c),
             }
         } else {
             let (seen, info) = self.mini(|tx| {
@@ -1096,8 +1148,38 @@ mod tests {
         let r = sys.run().expect("run completes");
         assert_eq!(r.commits, 60);
         assert_eq!(r.serial_commits, 60, "max_retries=0 serializes everything");
+        assert_eq!(r.serial_fallbacks, 60, "every begin escalated");
         assert_eq!(r.aborts, 0, "serial transactions cannot abort");
         assert_eq!(sys.read_word(WordAddr(0)), 60);
+        assert!(sys.finish_checks().is_empty());
+    }
+
+    #[test]
+    fn abort_causes_partition_and_obs_report_reconciles() {
+        // High contention on one word with few stripes provokes aborts;
+        // whatever happens, the per-cause split must partition the total
+        // and the ObsReport view must reconcile with the raw report.
+        let mut sys = StmBuilder::new()
+            .seed(17)
+            .n_stripes(2)
+            .mem_slots(1 << 10)
+            .check_serializability(true)
+            .build();
+        sys.poke_word(WordAddr(0), 0);
+        for _ in 0..4 {
+            sys.add_thread(Box::new(TxScript::counter(WordAddr(0), 50)));
+        }
+        let r = sys.run().expect("run completes");
+        assert_eq!(r.aborts_locked + r.aborts_stale, r.aborts);
+        let obs = sys.obs_report().expect("obs view after a successful run");
+        assert_eq!(obs.abort_total(), r.aborts);
+        assert_eq!(obs.aborts_conflict, r.aborts);
+        assert_eq!(obs.spans_committed, r.commits);
+        assert_eq!(
+            obs.metrics.get("stm_aborts_locked") + obs.metrics.get("stm_aborts_stale"),
+            r.aborts
+        );
+        assert_eq!(obs.metrics.get("stm_serial_fallbacks"), r.serial_fallbacks);
         assert!(sys.finish_checks().is_empty());
     }
 

@@ -59,6 +59,7 @@ mod driver;
 mod locks;
 mod micro;
 mod mp3d;
+mod oltp;
 mod radiosity;
 mod raytrace;
 mod spec;
@@ -67,6 +68,7 @@ pub use backend::{build_backend, run_on_backend, BackendKind};
 pub use driver::{BodyOp, CsProgram, Section, SectionSource, SyncMode};
 pub use locks::{BarrierDriver, LockDriver, LockOutcome, TicketLockDriver};
 pub use micro::{HotColdArray, RepeatedWriter, SharedCounter};
+pub use oltp::{run_oltp, OltpConfig, OltpOutcome, Zipfian, MAX_TX_OPS};
 pub use spec::{run_benchmark, Benchmark, RunParams};
 
 pub use berkeleydb::BerkeleyDb;

@@ -35,7 +35,7 @@ LTSE_STM_CASES=60 cargo test -q --release --test integration_stm
 t_stm1=$(date +%s%N)
 echo "ok: stm differential smoke in $(( (t_stm1 - t_stm0) / 1000000 )) ms"
 
-echo "== bench smoke: hotpath + pipeline + obs + stm + scale suites in quick mode =="
+echo "== bench smoke: hotpath + pipeline + obs + stm + scale + oltp suites in quick mode =="
 # Asserts both suites run and emit valid JSON with the expected shape; no
 # timing thresholds — CI machines are too noisy for that.
 bench_dir=$(mktemp -d)
@@ -49,9 +49,9 @@ expected_speedups = {
     "pipeline": {"cache_warm_vs_cold", "explore_parallel"},
     "obs": {"obs_off_vs_on"},
     "stm": {"stm_vs_sim_berkeleydb", "stm_vs_sim_raytrace", "stm_vs_sim_mp3d"},
-    "scale": {"per_event_64_vs_128", "per_event_64_vs_256"},
+    "scale": {"per_event_64_vs_128", "per_event_64_vs_256", "queue_banked_vs_unbanked"},
 }
-min_cases = {"hotpath": 7, "pipeline": 4, "obs": 4, "stm": 6, "scale": 4}
+min_cases = {"hotpath": 7, "pipeline": 4, "obs": 4, "stm": 6, "scale": 6}
 for bench, speedups in expected_speedups.items():
     with open(os.path.join(d, f"BENCH_{bench}.json")) as f:
         doc = json.load(f)
@@ -78,6 +78,33 @@ assert checked and all(r["n_ctxs"] == 256 for r in checked), runs
 for r in runs:
     assert r["commits"] > 0 and r["events"] > 0 and r["cycles"] > 0, r
 print(f"ok: BENCH_scale runs cover {sorted(sweep_cores)} cores + checked 256-ctx run")
+
+# BENCH_oltp.json has its own shape: skew/mix point rows on both backends
+# with the latency SLOs, plus the streaming million-transaction section
+# (reduced to 20k transactions in quick mode, same structure).
+with open(os.path.join(d, "BENCH_oltp.json")) as f:
+    doc = json.load(f)
+assert doc["bench"] == "oltp" and doc["quick"] is True, doc
+points = doc["points"]
+assert len(points) >= 6, f"expected >=3 points x 2 backends, got {len(points)}"
+backends = {p["backend"] for p in points}
+assert backends == {"sim", "stm"}, backends
+for p in points:
+    assert p["committed"] == p["txs"] > 0, p
+    assert p["p50"] <= p["p99"] <= p["p999"], p
+    assert p["latency_unit"] in ("cycles", "ns"), p
+by_point = {}
+for p in points:
+    by_point.setdefault(p["point"], set()).add(p["kv_fingerprint"])
+for name, fps in by_point.items():
+    assert len(fps) == 1, f"{name}: backends disagree on final KV state: {fps}"
+mtx = doc["mtx"]
+assert mtx["sim"]["committed"] == mtx["stm"]["committed"] == mtx["txs_total"], mtx
+assert mtx["kv_match"] is True, mtx
+growth = mtx["sim"]["rss_growth_kb"]
+assert growth is None or growth < 64 * 1024, f"mtx RSS growth {growth} KiB"
+print(f"ok: BENCH_oltp {len(points)} point rows + mtx section "
+      f"({mtx['txs_total']} txs, rss growth {growth} KiB, kv states match)")
 EOF
 
 echo "== determinism smoke: repro --quick, 1 vs. 4 workers =="
@@ -133,10 +160,37 @@ if [ "$stm_rows" -ne 7 ]; then
 fi
 echo "ok: stm backend ran all 5 Table-2 workloads against the simulator"
 
+echo "== oltp smoke: repro --quick oltp on both backends =="
+# Sim rows are cycle-denominated and must be byte-deterministic run to run;
+# the stm comparison additionally cross-checks the final KV state between
+# backends (a mismatch fails the run).
+oltp1=$(mktemp) oltp2=$(mktemp)
+trap 'rm -f "$out1" "$out4" "$oltp1" "$oltp2"; rm -rf "$bench_dir"' EXIT
+"$repro" --quick oltp >"$oltp1" 2>/dev/null
+"$repro" --quick --jobs 4 oltp >"$oltp2" 2>/dev/null
+if ! cmp -s "$oltp1" "$oltp2"; then
+    echo "FAIL: repro oltp stdout differs run to run" >&2
+    diff "$oltp1" "$oltp2" | head -20 >&2
+    exit 1
+fi
+if ! grep -q "^OLTP open-loop driver:" "$oltp1" || ! grep -q "p999" "$oltp1"; then
+    echo "FAIL: repro oltp did not print the SLO table" >&2
+    head -5 "$oltp1" >&2
+    exit 1
+fi
+"$repro" --quick --backend stm oltp >"$oltp2" 2>/dev/null
+oltp_stm_rows=$(grep -c " stm " "$oltp2" || true)
+if [ "$oltp_stm_rows" -ne 3 ]; then
+    echo "FAIL: expected 3 stm rows in the oltp comparison, got $oltp_stm_rows" >&2
+    cat "$oltp2" >&2
+    exit 1
+fi
+echo "ok: oltp deterministic on sim, 3 skew/mix points cross-checked on stm"
+
 echo "== cache smoke: repro --quick twice into a fresh cache dir =="
 cache_dir=$(mktemp -d)
 err2=$(mktemp)
-trap 'rm -f "$out1" "$out4" "$err2"; rm -rf "$bench_dir" "$cache_dir"' EXIT
+trap 'rm -f "$out1" "$out4" "$err2" "$oltp1" "$oltp2"; rm -rf "$bench_dir" "$cache_dir"' EXIT
 
 t_cold0=$(date +%s%N)
 "$repro" --quick --jobs 4 --cache-dir "$cache_dir" all >"$out4" 2>/dev/null
@@ -168,7 +222,7 @@ echo "ok: warm cache hit everything, stdout byte-identical (cold ${ms_cold} ms, 
 
 echo "== stats-json smoke: emit, validate schema, cross-jobs/cache byte-identity =="
 stats_dir=$(mktemp -d)
-trap 'rm -f "$out1" "$out4" "$err2"; rm -rf "$bench_dir" "$cache_dir" "$stats_dir"' EXIT
+trap 'rm -f "$out1" "$out4" "$err2" "$oltp1" "$oltp2"; rm -rf "$bench_dir" "$cache_dir" "$stats_dir"' EXIT
 
 # The export must not disturb stdout, and its bytes must not depend on the
 # worker count or the cache configuration.
@@ -201,8 +255,31 @@ for row in rows:
     assert sum(obs["stalls"].values()) == tm["stalls"], row["experiment"]
     assert sum(obs["aborts"].values()) == tm["aborts"], row["experiment"]
     assert obs["spans"]["committed"] == tm["commits"], row["experiment"]
-print(f"ok: stats-json schema-tagged, {len(rows)} rows, all attributions reconcile")
+slo = doc["oltp_slo"]
+assert len(slo) == 3, f"expected 3 oltp_slo rows, got {len(slo)}"
+for row in slo:
+    lat = row["latency_cycles"]
+    assert lat["p50"] <= lat["p99"] <= lat["p999"], row
+    assert row["committed"] > 0 and row["goodput_tx_per_mcycle"] > 0, row
+print(f"ok: stats-json schema-tagged, {len(rows)} rows + {len(slo)} SLO rows, "
+      "all attributions reconcile")
 EOF
 echo "ok: stats-json deterministic across jobs and cache configurations"
+
+echo "== stm stats-json smoke: per-cause abort counters reconcile =="
+"$repro" --quick --backend stm --stats-json "$stats_dir/stats_stm.json" oltp >/dev/null 2>&1
+python3 - "$stats_dir/stats_stm.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "ltse.stats.v1" and doc["backend"] == "stm", doc
+rows = doc["experiments"]
+assert len(rows) == 3, f"expected 3 stm rows, got {len(rows)}"
+for row in rows:
+    stm = row["stm"]
+    assert all(row["reconciled"].values()), (row["benchmark"], row["reconciled"])
+    assert stm["aborts_locked"] + stm["aborts_stale"] == stm["aborts"], row
+print(f"ok: stm stats-json {len(rows)} rows, per-cause aborts reconcile")
+EOF
 
 echo "== verify OK =="
