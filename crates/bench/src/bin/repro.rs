@@ -23,7 +23,9 @@
 //!   nesting        Partial aborts: flat vs. nested (§3.2)
 //!   smt            16×2 SMT vs. 32×1 cores, sibling-conflict cost
 //!   oltp           Open-loop OLTP driver: latency SLOs by skew/mix point
-//!   all            Everything above except oltp, in order
+//!   policy         Adaptive contention management: every policy on
+//!                  contended workloads, both backends
+//!   all            Everything above except oltp and policy, in order
 //! ```
 //!
 //! `--quick` runs at reduced scale (for smoke tests); `--csv` emits
@@ -63,6 +65,12 @@
 //! skew/read-mix points. It is deliberately *not* part of `all`, keeping
 //! that stdout byte-identical with earlier releases; its sim output is
 //! itself fully deterministic.
+//!
+//! `policy` runs the adaptive contention-management sweep: every
+//! contention policy (including `Adaptive`) over contended workload
+//! points — Mp3d plus two OLTP skew/mix points — on **both** backends in
+//! one table. Its STM rows are wall-clock and therefore not
+//! byte-deterministic, so like `oltp` it stays out of `all`.
 //!
 //! `--cache-dir DIR` (or the `LTSE_CACHE` environment variable) enables the
 //! persistent run cache: repeated sweeps with identical inputs are served
@@ -316,9 +324,10 @@ fn main() {
                 oltp_experiment(&scale, ltse_workloads::BackendKind::Sim),
                 |r| render::render_oltp(r),
             ),
+            "policy" => emit(policy_sweep(&scale), |r| render::render_policy_sweep(r)),
             other => {
                 eprintln!("unknown subcommand: {other}");
-                eprintln!("known: table1 table2 figure4 table3 victimization table4 sweep sticky logfilter virt snooping policies multicmp nesting smt oltp all");
+                eprintln!("known: table1 table2 figure4 table3 victimization table4 sweep sticky logfilter virt snooping policies multicmp nesting smt oltp policy all");
                 std::process::exit(2);
             }
         };

@@ -29,9 +29,11 @@ use logtm_se::Cycle;
 use ltse_sim::cache::{ByteReader, CacheValue, FpHash, FpHasher, Fingerprint, RunCache};
 use ltse_workloads::RunParams;
 
+use ltse_workloads::BackendKind;
+
 use crate::experiments::{
-    ExperimentScale, LogFilterRow, MultiCmpRow, NestingRow, PolicyRow, SmtRow, SnoopRow,
-    StickyRow, Table2Row, Table3Row, VictimRow, VirtRow,
+    ExperimentScale, LogFilterRow, MultiCmpRow, NestingRow, PolicyRow, PolicySweepRow, SmtRow,
+    SnoopRow, StickyRow, Table2Row, Table3Row, VictimRow, VirtRow, POLICY_OLTP_POINTS,
 };
 
 /// Experiment-schema tag folded into every fingerprint. Bump whenever
@@ -39,7 +41,7 @@ use crate::experiments::{
 /// any fingerprinted input (new statistics, tweaked synthetic programs,
 /// simulator behaviour changes): every prior cache entry then misses and is
 /// recomputed.
-pub const CACHE_SCHEMA: u32 = 1;
+pub const CACHE_SCHEMA: u32 = 2;
 
 enum State {
     /// No explicit choice yet; first use consults `LTSE_CACHE`.
@@ -142,6 +144,40 @@ impl CacheValue for PolicyRow {
             aborts: u64::decode(r)?,
             stalls: u64::decode(r)?,
             wasted_cycles: u64::decode(r)?,
+            completed: bool::decode(r)?,
+        })
+    }
+}
+
+impl CacheValue for PolicySweepRow {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.workload.to_string().encode(out);
+        self.backend.name().to_string().encode(out);
+        self.policy.encode(out);
+        self.score.encode(out);
+        self.committed.encode(out);
+        self.aborts.encode(out);
+        self.serial_escalations.encode(out);
+        self.completed.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let known: Vec<&'static str> = std::iter::once("mp3d_tm")
+            .chain(POLICY_OLTP_POINTS.iter().map(|(name, _, _)| *name))
+            .collect();
+        let workload = decode_static(r, &known)?;
+        let backend = match decode_static(r, &["sim", "stm"])? {
+            "sim" => BackendKind::Sim,
+            _ => BackendKind::Stm,
+        };
+        Some(PolicySweepRow {
+            workload,
+            backend,
+            policy: CacheValue::decode(r)?,
+            score: f64::decode(r)?,
+            committed: u64::decode(r)?,
+            aborts: u64::decode(r)?,
+            serial_escalations: u64::decode(r)?,
             completed: bool::decode(r)?,
         })
     }
@@ -395,6 +431,22 @@ mod tests {
         assert_eq!(p.benchmark, Benchmark::Raytrace);
         assert_eq!(p.policy, ContentionPolicy::SizeMatters);
         assert!(!p.completed);
+
+        let ps = round_trip(&PolicySweepRow {
+            workload: "oltp_zipf99_read50",
+            backend: ltse_workloads::BackendKind::Stm,
+            policy: ContentionPolicy::Adaptive,
+            score: 1234.5,
+            committed: 6,
+            aborts: 7,
+            serial_escalations: 8,
+            completed: true,
+        });
+        assert_eq!(ps.workload, "oltp_zipf99_read50");
+        assert_eq!(ps.backend, ltse_workloads::BackendKind::Stm);
+        assert_eq!(ps.policy, ContentionPolicy::Adaptive);
+        assert_eq!(ps.score, 1234.5);
+        assert_eq!(ps.serial_escalations, 8);
 
         let s = round_trip(&SmtRow {
             benchmark: Benchmark::Mp3d,

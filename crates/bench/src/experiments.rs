@@ -7,13 +7,13 @@
 //! worker count; a diverging configuration surfaces as a labelled entry in
 //! the returned [`SweepError`] instead of killing the sweep.
 
-use logtm_se::{CoherenceKind, Cycle, SignatureKind, SystemBuilder};
+use logtm_se::{ContentionPolicy, CoherenceKind, Cycle, SignatureKind, SystemBuilder};
 use ltse_sim::config::seed_sequence;
 use ltse_sim::parallel::RunSpec;
 use ltse_sim::stats::SampleSet;
 use ltse_workloads::{
-    run_benchmark, run_oltp, run_on_backend, BackendKind, Benchmark, OltpConfig, RunParams,
-    SyncMode,
+    run_benchmark, run_oltp, run_oltp_with, run_on_backend, BackendKind, Benchmark, OltpConfig,
+    PolicyTune, RunParams, SyncMode,
 };
 
 use crate::cache::{fp_params, run_fp};
@@ -1379,6 +1379,184 @@ pub fn oltp_compare(scale: &ExperimentScale) -> Result<Vec<OltpRow>, SweepError>
     }
 }
 
+// ---------------------------------------------------------------------
+// Adaptive contention management: the policy sweep
+// ---------------------------------------------------------------------
+
+/// One datapoint of the `policy_sweep` experiment: one contended workload
+/// point, on one backend, under one contention policy.
+#[derive(Debug, Clone)]
+pub struct PolicySweepRow {
+    /// Workload point name (`mp3d_tm`, `oltp_zipf99_read50`, …).
+    pub workload: &'static str,
+    /// Which engine ran the point.
+    pub backend: BackendKind,
+    /// The contention policy under test.
+    pub policy: ContentionPolicy,
+    /// Goodput, higher is better: committed units per simulated megacycle
+    /// on `sim` (deterministic), committed transactions per wall-clock
+    /// second on `stm`.
+    pub score: f64,
+    /// Committed outermost transactions.
+    pub committed: u64,
+    /// Aborts along the way.
+    pub aborts: u64,
+    /// Serial-token escalations (`sim` rows; the STM reports fallbacks in
+    /// its own stats and 0 here).
+    pub serial_escalations: u64,
+    /// Whether the run finished its fixed work inside the watchdogs
+    /// (completed-as-data: a policy that livelocks is a result).
+    pub completed: bool,
+}
+
+/// The OLTP skew/mix points of the policy sweep:
+/// `(name, theta_permille, read_pct)`. One uncontended point (where doing
+/// nothing clever should win) and one hot-key point (where it cannot).
+pub const POLICY_OLTP_POINTS: [(&str, u32, u8); 2] = [
+    ("oltp_uniform_read95", 0, 95),
+    ("oltp_zipf99_read50", 990, 50),
+];
+
+/// Consecutive-abort threshold for serial escalation used throughout the
+/// sweep (`TmConfig::escalate_after` on sim, `max_retries` on stm), so both
+/// serial fallbacks are exercised under every policy.
+pub const POLICY_ESCALATE_AFTER: u32 = 12;
+
+/// The open-loop OLTP configuration for one policy-sweep point: a smaller,
+/// hotter key space and tighter arrival gap than the `oltp` experiment, so
+/// the policies actually differentiate.
+pub fn policy_oltp_config(
+    scale: &ExperimentScale,
+    theta_permille: u32,
+    read_pct: u8,
+) -> OltpConfig {
+    OltpConfig {
+        threads: scale.threads,
+        txs_per_thread: scale.units_per_thread * 25,
+        keys: 512,
+        theta: theta_permille as f64 / 1000.0,
+        read_pct,
+        ops_min: 2,
+        ops_max: 8,
+        mean_gap: 100,
+        seed: scale.base_seed,
+    }
+}
+
+fn policy_tune(policy: ContentionPolicy) -> PolicyTune {
+    PolicyTune {
+        contention: Some(policy),
+        escalate_after: Some(POLICY_ESCALATE_AFTER),
+        ..PolicyTune::default()
+    }
+}
+
+/// `repro policy`: every [`ContentionPolicy`] on contended workloads, on
+/// both backends — where does each static policy win, and is `Adaptive`
+/// ever far from the per-point best?
+///
+/// Sim rows (the Mp3d point and the OLTP points on `sim`) are deterministic
+/// and fan out through the cached parallel runner. STM rows run real
+/// threads sequentially (wall-clock goodput shouldn't share the host) and
+/// bypass the cache, like the `oltp` experiment.
+pub fn policy_sweep(scale: &ExperimentScale) -> Result<Vec<PolicySweepRow>, SweepError> {
+    let scale = *scale;
+    let seed = seed_sequence(scale.base_seed, 1)[0];
+
+    // Mp3d at fixed work: the paper's most contended Table 2 benchmark.
+    let mut specs = Vec::new();
+    for policy in ContentionPolicy::ALL {
+        let fp = run_fp("policy_sweep")
+            .feed(&policy)
+            .feed(&seed)
+            .feed(&scale.threads)
+            .feed(&scale.units_per_thread)
+            .finish();
+        specs.push(
+            RunSpec::new(format!("policy/mp3d/{}", policy.name()), move || {
+                let mut system = SystemBuilder::paper_default()
+                    .signature(SignatureKind::paper_bs_2kb())
+                    .contention(policy)
+                    .escalate_after(Some(POLICY_ESCALATE_AFTER))
+                    .seed(seed)
+                    .limits(ltse_sim::config::SimLimits {
+                        max_cycles: Cycle(10_000_000),
+                        max_events: 1_000_000_000,
+                    })
+                    .build();
+                for program in
+                    Benchmark::Mp3d.programs(SyncMode::Tm, scale.threads, scale.units_per_thread)
+                {
+                    system.add_thread(program);
+                }
+                let completed = system.run().is_ok();
+                let r = system.report();
+                let cycles = r.cycles.as_u64().max(1);
+                PolicySweepRow {
+                    workload: "mp3d_tm",
+                    backend: BackendKind::Sim,
+                    policy,
+                    score: r.tm.work_units as f64 * 1e6 / cycles as f64,
+                    committed: r.tm.commits,
+                    aborts: r.tm.aborts,
+                    serial_escalations: r.tm.serial_escalations,
+                    completed,
+                }
+            })
+            .keyed(fp),
+        );
+    }
+    let mut rows = sweep_ok("policy_sweep", specs)?;
+
+    // The OLTP points, sim then stm, every policy.
+    let mut failures = Vec::new();
+    let mut runs = ContentionPolicy::ALL.len();
+    for (point, theta_permille, read_pct) in POLICY_OLTP_POINTS {
+        let cfg = policy_oltp_config(&scale, theta_permille, read_pct);
+        for kind in [BackendKind::Sim, BackendKind::Stm] {
+            for policy in ContentionPolicy::ALL {
+                runs += 1;
+                let out = match run_oltp_with(kind, &cfg, false, &policy_tune(policy)) {
+                    Ok(out) => out,
+                    Err(reason) => {
+                        failures.push(FailedRun {
+                            label: format!("policy/{point}/{kind}/{}", policy.name()),
+                            reason,
+                        });
+                        continue;
+                    }
+                };
+                let score = match kind {
+                    BackendKind::Sim => {
+                        let cycles = out.report.sim_cycles.unwrap_or(0).max(1);
+                        out.committed_txs as f64 * 1e6 / cycles as f64
+                    }
+                    BackendKind::Stm => out.goodput_tx_per_sec(),
+                };
+                rows.push(PolicySweepRow {
+                    workload: point,
+                    backend: kind,
+                    policy,
+                    score,
+                    committed: out.committed_txs,
+                    aborts: out.report.aborts,
+                    serial_escalations: 0,
+                    completed: out.committed_txs == cfg.total_txs(),
+                });
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(rows)
+    } else {
+        Err(SweepError {
+            experiment: "policy_sweep",
+            runs,
+            failures,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1443,6 +1621,48 @@ mod tests {
             assert!(row.sim_cycles > 0, "{}", row.benchmark);
             assert!(row.sim_commits > 0 && row.stm_commits > 0, "{}", row.benchmark);
             assert!(row.stm_wall_ms >= 0.0 && row.stm_units_per_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn policy_sweep_covers_every_point_policy_and_backend() {
+        let scale = ExperimentScale {
+            threads: 4,
+            units_per_thread: 1,
+            seeds: 1,
+            base_seed: 7,
+            warmup_units: 0,
+        };
+        let rows = policy_sweep(&scale).expect("sweep");
+        // One Mp3d sim point plus two OLTP points on two backends, each
+        // under all five policies.
+        assert_eq!(rows.len(), ContentionPolicy::ALL.len() * (1 + 2 * 2));
+        for row in &rows {
+            assert!(row.score >= 0.0);
+            assert!(
+                row.completed,
+                "{}/{}/{}",
+                row.workload,
+                row.backend.name(),
+                row.policy.name()
+            );
+        }
+        // Sim rows are deterministic: re-running the sweep reproduces the
+        // exact score bits (stm rows are wall-clock and exempt).
+        let again = policy_sweep(&scale).expect("sweep");
+        assert_eq!(rows.len(), again.len());
+        for (a, b) in rows.iter().zip(&again) {
+            if a.backend == BackendKind::Sim {
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "{}/{}",
+                    a.workload,
+                    a.policy.name()
+                );
+                assert_eq!(a.committed, b.committed);
+                assert_eq!(a.aborts, b.aborts);
+            }
         }
     }
 

@@ -19,9 +19,9 @@ pub mod stats_json;
 
 pub use experiments::{
     contention_policies, figure4, log_filter_ablation, multi_cmp_comparison, nesting_ablation,
-    oltp_compare, oltp_config, oltp_experiment, signature_sweep, smt_comparison,
-    snooping_comparison, sticky_ablation, stm_compare, table2, table3, victimization,
-    virtualization_overhead, ExperimentScale, Fig4Bar, Fig4Row, LogFilterRow, MultiCmpRow,
-    NestingRow, OltpRow, PolicyRow, SmtRow, SnoopRow, StickyRow, StmRow, SweepRow, Table2Row,
-    Table3Row, VictimRow, VirtRow, OLTP_POINTS,
+    oltp_compare, oltp_config, oltp_experiment, policy_oltp_config, policy_sweep, signature_sweep,
+    smt_comparison, snooping_comparison, sticky_ablation, stm_compare, table2, table3,
+    victimization, virtualization_overhead, ExperimentScale, Fig4Bar, Fig4Row, LogFilterRow,
+    MultiCmpRow, NestingRow, OltpRow, PolicyRow, PolicySweepRow, SmtRow, SnoopRow, StickyRow,
+    StmRow, SweepRow, Table2Row, Table3Row, VictimRow, VirtRow, OLTP_POINTS, POLICY_OLTP_POINTS,
 };

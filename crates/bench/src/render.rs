@@ -1,8 +1,8 @@
 //! Aligned-text rendering of experiment results (what `repro` prints).
 
 use crate::experiments::{
-    Fig4Row, LogFilterRow, MultiCmpRow, NestingRow, OltpRow, PolicyRow, SmtRow, SnoopRow,
-    StickyRow, StmRow, SweepRow, Table2Row, Table3Row, VictimRow, VirtRow,
+    Fig4Row, LogFilterRow, MultiCmpRow, NestingRow, OltpRow, PolicyRow, PolicySweepRow, SmtRow,
+    SnoopRow, StickyRow, StmRow, SweepRow, Table2Row, Table3Row, VictimRow, VirtRow,
 };
 use ltse_workloads::BackendKind;
 
@@ -106,6 +106,52 @@ pub fn render_oltp(rows: &[OltpRow]) -> String {
             goodput,
             format!("{:016x}", r.kv_fingerprint)
         ));
+    }
+    out
+}
+
+/// Renders the adaptive contention-management policy sweep: every policy on
+/// every contended point, grouped per (workload, backend) with the winner
+/// starred and Adaptive's gap to the per-point best. Sim scores are
+/// committed work per simulated megacycle (deterministic); stm scores are
+/// committed transactions per wall-clock second (noisy, run to run).
+pub fn render_policy_sweep(rows: &[PolicySweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Policy sweep: contention managers on contended workloads, both backends\n");
+    out.push_str(&format!(
+        "{:<20} {:>7} {:<17} {:>12} {:>9} {:>9} {:>7} {:>5} {:>9}\n",
+        "Point", "Backend", "Policy", "Score", "Committed", "Aborts", "SerEsc", "Done", "vs.best"
+    ));
+    // Preserve row order but group per (workload, backend) point.
+    let mut points: Vec<(&str, BackendKind)> = Vec::new();
+    for r in rows {
+        if !points.contains(&(r.workload, r.backend)) {
+            points.push((r.workload, r.backend));
+        }
+    }
+    for (workload, backend) in points {
+        let group: Vec<&PolicySweepRow> = rows
+            .iter()
+            .filter(|r| r.workload == workload && r.backend == backend)
+            .collect();
+        let best = group.iter().map(|r| r.score).fold(0.0_f64, f64::max);
+        for r in &group {
+            let is_best = r.score == best && best > 0.0;
+            let rel = if best > 0.0 { r.score / best } else { 0.0 };
+            out.push_str(&format!(
+                "{:<20} {:>7} {:<17} {:>12.3} {:>9} {:>9} {:>7} {:>5} {:>8.1}%{}\n",
+                r.workload,
+                r.backend.name(),
+                r.policy.name(),
+                r.score,
+                r.committed,
+                r.aborts,
+                r.serial_escalations,
+                if r.completed { "yes" } else { "NO" },
+                rel * 100.0,
+                if is_best { " *" } else { "" },
+            ));
+        }
     }
     out
 }

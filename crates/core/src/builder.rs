@@ -5,7 +5,7 @@ use ltse_sig::SignatureKind;
 use ltse_sim::config::SimLimits;
 use ltse_sim::Cycle;
 use ltse_tm::conflict::ContentionPolicy;
-use ltse_tm::TmConfig;
+use ltse_tm::{BackoffKind, TmConfig};
 
 use crate::system::System;
 
@@ -126,6 +126,30 @@ impl SystemBuilder {
     /// paper's "trap to a contention manager" future work).
     pub fn contention(mut self, policy: ContentionPolicy) -> Self {
         self.tm.contention = policy;
+        self
+    }
+
+    /// Selects the backoff family shaping post-abort (and partial-abort)
+    /// waits. Default: randomized exponential.
+    pub fn backoff_kind(mut self, kind: BackoffKind) -> Self {
+        self.tm.backoff_kind = kind;
+        self
+    }
+
+    /// Enables bounded-retry escalation: after `aborts` consecutive aborts
+    /// of one transaction, its retry acquires the global serialization
+    /// token and runs exempt from conflict-resolution aborts (the hardware
+    /// analogue of the STM backend's serial fallback). `None` disables.
+    pub fn escalate_after(mut self, aborts: Option<u32>) -> Self {
+        self.tm.escalate_after = aborts;
+        self
+    }
+
+    /// Pins [`ContentionPolicy::Adaptive`] to one static policy — for
+    /// determinism tests that prove a pinned adaptive run is byte-identical
+    /// to the static configuration. Ignored by static policies.
+    pub fn adaptive_pin(mut self, pin: Option<ContentionPolicy>) -> Self {
+        self.tm.adaptive_pin = pin;
         self
     }
 
@@ -277,6 +301,10 @@ mod tests {
             .seed(99)
             .check_serializability(true)
             .fault_skip_one_undo(true)
+            .contention(ContentionPolicy::Adaptive)
+            .backoff_kind(BackoffKind::Linear)
+            .escalate_after(Some(4))
+            .adaptive_pin(Some(ContentionPolicy::Karma))
             .observe(true)
             .observe_span_capacity(128)
             .preemption(Cycle(100), true);
@@ -288,6 +316,10 @@ mod tests {
         assert_eq!(b.mem.coherence, CoherenceKind::SnoopingMesi);
         assert!(!b.mem.sticky_enabled);
         assert_eq!(b.tm.log_filter_entries, 0);
+        assert_eq!(b.tm.contention, ContentionPolicy::Adaptive);
+        assert_eq!(b.tm.backoff_kind, BackoffKind::Linear);
+        assert_eq!(b.tm.escalate_after, Some(4));
+        assert_eq!(b.tm.adaptive_pin, Some(ContentionPolicy::Karma));
         assert_eq!(b.seed, 99);
         assert_eq!(
             b.preemption,

@@ -568,6 +568,26 @@ impl System {
                     NestKind::Closed
                 };
                 let was_nested = self.tm.in_tx(ctx);
+                // Bounded-retry escalation (`TmConfig::escalate_after`):
+                // once the abort streak reaches the threshold, the retry
+                // must hold the global serialization token before it can
+                // begin. If another thread holds it, poll — the holder is
+                // exempt from conflict aborts, so it commits in bounded
+                // time and the token frees.
+                if !was_nested {
+                    let cfg = *self.tm.config();
+                    if let Some(limit) = cfg.escalate_after {
+                        let streak = self.tm.thread(ctx).map_or(0, |t| t.abort_attempts());
+                        if streak >= limit && !self.tm.try_acquire_serial(ctx) {
+                            self.trace(now, TraceTag::Begin, || {
+                                format!("tid={tid} ctx={ctx} waiting on serialization token")
+                            });
+                            self.threads[tid as usize].pending_op = Some(op);
+                            self.schedule_resume(tid, cfg.stall_retry_cycles);
+                            return;
+                        }
+                    }
+                }
                 self.trace(now, TraceTag::Begin, || {
                     format!("tid={tid} ctx={ctx} kind={kind:?} nested={was_nested}")
                 });
@@ -911,6 +931,7 @@ impl System {
                     handler + traffic,
                 );
             }
+            let cfg = *self.tm.config();
             let slot = &mut self.threads[tid as usize];
             let mut prog_ctx = ProgCtx {
                 thread_id: tid,
@@ -921,7 +942,17 @@ impl System {
             if slot.program.on_partial_abort(&mut prog_ctx, depth - 1) {
                 slot.partial_streak += 1;
                 slot.pending_op = None;
-                let backoff = Cycle(slot.rng.gen_range(0, 64));
+                // The partial-abort retry waits under the same configured
+                // backoff family as a full abort, scaled by the streak of
+                // fruitless partials, so repeated inner-frame collisions
+                // spread out instead of re-colliding inside a flat window.
+                let backoff = ltse_tm::backoff_cycles(
+                    cfg.backoff_kind,
+                    &mut slot.rng,
+                    cfg.backoff_base_cycles,
+                    cfg.backoff_cap_shift,
+                    slot.partial_streak - 1,
+                );
                 self.schedule_resume(tid, handler + traffic + backoff);
                 return;
             }

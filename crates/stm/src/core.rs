@@ -35,6 +35,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use logtm_se::{BackoffKind, ContentionPolicy};
+
 use crate::table::{Table, TableFull};
 
 /// Bit marking a stripe lock word as held by a committing writer. The low
@@ -58,6 +60,17 @@ pub struct StmConfig {
     pub backoff_base: u64,
     /// Cap on the backoff spin count.
     pub backoff_cap: u64,
+    /// Contention policy, shared vocabulary with the simulator. TL2 has no
+    /// NACK matrix, so each policy translates to the STM's two real levers:
+    /// the backoff family a loser waits under and the serial-escalation
+    /// threshold (see the executor's `policy_levers`).
+    pub contention: ContentionPolicy,
+    /// Backoff family used by policies that do not force one of their own
+    /// ([`ContentionPolicy::RequesterStalls`] / `Karma`).
+    pub backoff_kind: BackoffKind,
+    /// Pins [`ContentionPolicy::Adaptive`] to one static policy's levers —
+    /// for tests that prove pinned-adaptive ≡ static. Ignored otherwise.
+    pub adaptive_pin: Option<ContentionPolicy>,
     /// Watchdog: a single thread issuing more ops than this fails the run
     /// with a clean error instead of hanging a wedged workload forever.
     pub max_ops_per_thread: u64,
@@ -76,6 +89,9 @@ impl Default for StmConfig {
             max_retries: 32,
             backoff_base: 32,
             backoff_cap: 1 << 14,
+            contention: ContentionPolicy::RequesterStalls,
+            backoff_kind: BackoffKind::RandExp,
+            adaptive_pin: None,
             max_ops_per_thread: 50_000_000,
             fault_skip_one_writeback: false,
         }

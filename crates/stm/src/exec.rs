@@ -46,7 +46,7 @@
 
 use std::time::{Duration, Instant};
 
-use logtm_se::{Cycle, Op, ProgCtx, ThreadProgram, WordAddr};
+use logtm_se::{BackoffKind, ContentionPolicy, Cycle, Op, ProgCtx, ThreadProgram, WordAddr};
 use ltse_mem::SerializabilityOracle;
 use ltse_sim::config::seed_sequence;
 use ltse_sim::obs::ObsReport;
@@ -302,6 +302,27 @@ impl StmBuilder {
         self
     }
 
+    /// Contention policy (vocabulary shared with the simulator); maps onto
+    /// the STM's backoff family and serial-escalation threshold — see
+    /// [`policy_levers`].
+    pub fn contention(mut self, policy: ContentionPolicy) -> Self {
+        self.cfg.contention = policy;
+        self
+    }
+
+    /// Backoff family used by policies that do not force one of their own.
+    pub fn backoff_kind(mut self, kind: BackoffKind) -> Self {
+        self.cfg.backoff_kind = kind;
+        self
+    }
+
+    /// Pins [`ContentionPolicy::Adaptive`] to one static policy's levers
+    /// (determinism tests). Ignored by static policies.
+    pub fn adaptive_pin(mut self, pin: Option<ContentionPolicy>) -> Self {
+        self.cfg.adaptive_pin = pin;
+        self
+    }
+
     /// Per-thread op watchdog limit.
     pub fn max_ops_per_thread(mut self, n: u64) -> Self {
         self.cfg.max_ops_per_thread = n;
@@ -533,19 +554,95 @@ impl StmSystem {
     }
 }
 
+/// The STM's two real contention levers for one worker, derived from the
+/// configured policy: which backoff family shapes a loser's wait, and the
+/// consecutive-abort count at which the transaction escalates to the serial
+/// token. TL2 resolves conflicts at commit time — there is no NACK matrix
+/// to arbitrate — so the simulator's requester-centric policies translate
+/// as:
+///
+/// * `RequesterStalls` — the configured family (default randomized
+///   exponential): losers wait progressively longer, the stalling analogue.
+/// * `RequesterAborts` — constant backoff: abort fast, retry fast.
+/// * `SizeMatters` — linear backoff: waits grow with the streak but never
+///   explode, approximating work-proportional politeness.
+/// * `Karma` — the configured family with half the retry budget: chronic
+///   losers serialize sooner, the age-priority analogue.
+/// * `Adaptive` — family escalates with the streak (constant → linear →
+///   randomized exponential); a pin reproduces a static policy's levers
+///   exactly.
+fn policy_levers(cfg: &StmConfig, streak: u32) -> (BackoffKind, u32) {
+    let policy = match (cfg.contention, cfg.adaptive_pin) {
+        (ContentionPolicy::Adaptive, Some(pin)) => pin,
+        (p, _) => p,
+    };
+    match policy {
+        ContentionPolicy::RequesterStalls => (cfg.backoff_kind, cfg.max_retries),
+        ContentionPolicy::RequesterAborts => (BackoffKind::Constant, cfg.max_retries),
+        ContentionPolicy::SizeMatters => (BackoffKind::Linear, cfg.max_retries),
+        // `div_ceil` keeps the `0 = always serial` contract intact and
+        // never rounds a nonzero budget down to always-serial.
+        ContentionPolicy::Karma => (cfg.backoff_kind, cfg.max_retries.div_ceil(2)),
+        ContentionPolicy::Adaptive => {
+            let kind = if streak < 4 {
+                BackoffKind::Constant
+            } else if streak < 12 {
+                BackoffKind::Linear
+            } else {
+                BackoffKind::RandExp
+            };
+            (kind, cfg.max_retries)
+        }
+    }
+}
+
 /// Post-abort backoff: yield the core (essential on single-CPU machines —
 /// the conflicting thread cannot progress while we spin), then spin a
-/// jittered, exponentially growing count.
-fn backoff(rng: &mut Xoshiro256StarStar, attempt: u32, cfg: &StmConfig) {
+/// jittered count shaped by the backoff family.
+fn backoff(rng: &mut Xoshiro256StarStar, attempt: u32, kind: BackoffKind, cfg: &StmConfig) {
     std::thread::yield_now();
-    let spins = cfg
-        .backoff_base
-        .saturating_shl(attempt.min(16))
-        .min(cfg.backoff_cap)
-        .max(1);
+    let spins = match kind {
+        BackoffKind::RandExp => cfg.backoff_base.saturating_shl(attempt.min(16)),
+        BackoffKind::Linear => cfg.backoff_base.saturating_mul(u64::from(attempt) + 1),
+        BackoffKind::Constant => cfg.backoff_base,
+    }
+    .min(cfg.backoff_cap)
+    .max(1);
     let jitter = rng.gen_range(spins / 2 + 1, spins + 2);
     for _ in 0..jitter {
         std::hint::spin_loop();
+    }
+}
+
+/// Consecutive-abort bookkeeping for one worker. Extracted so the reset
+/// rules — the streak clears only on a real commit, never on mere
+/// serial-fallback entry — are unit-testable without staging real thread
+/// interleavings.
+#[derive(Debug, Default, Clone, Copy)]
+struct RetryState {
+    /// Consecutive aborts of the current transaction attempt.
+    streak: u32,
+    /// Lifetime high-water streak (exported as `max_retry_streak`).
+    max_streak: u32,
+}
+
+impl RetryState {
+    /// Records one more consecutive abort; returns the new streak (the
+    /// backoff attempt number).
+    fn on_abort(&mut self) -> u32 {
+        self.streak += 1;
+        self.max_streak = self.max_streak.max(self.streak);
+        self.streak
+    }
+
+    /// A commit ends the streak, serial or not.
+    fn on_commit(&mut self) {
+        self.streak = 0;
+    }
+
+    /// Whether the next begin must run under the serial token.
+    fn should_escalate(&self, max_retries: u32) -> bool {
+        self.streak >= max_retries
     }
 }
 
@@ -580,8 +677,8 @@ struct Worker<'a> {
     depth: usize,
     /// Escape-action nesting depth.
     escape: usize,
-    /// Consecutive aborts of the current transaction attempt.
-    retries: u32,
+    /// Consecutive-abort streak driving backoff and serial escalation.
+    retry: RetryState,
     tx: Option<Tx<'a>>,
     token: Option<SerialToken<'a>>,
     stats: WorkerStats,
@@ -603,7 +700,7 @@ impl<'a> Worker<'a> {
             next_seq: 0,
             depth: 0,
             escape: 0,
-            retries: 0,
+            retry: RetryState::default(),
             tx: None,
             token: None,
             stats: WorkerStats::default(),
@@ -644,7 +741,7 @@ impl<'a> Worker<'a> {
         self.depth = 0;
         self.escape = 0;
         self.rec.clear();
-        self.retries += 1;
+        let attempt = self.retry.on_abort();
         self.stats.aborts += 1;
         match cause {
             Conflict::Locked { .. } => self.stats.aborts_locked += 1,
@@ -653,7 +750,7 @@ impl<'a> Worker<'a> {
             // as locked-like if it ever slips through rather than panic.
             Conflict::TableFull => self.stats.aborts_locked += 1,
         }
-        self.stats.max_retry_streak = self.stats.max_retry_streak.max(self.retries);
+        self.stats.max_retry_streak = self.stats.max_retry_streak.max(self.retry.max_streak);
         let mut ctx = ProgCtx {
             thread_id: self.tid,
             last_value: self.last_value,
@@ -661,7 +758,8 @@ impl<'a> Worker<'a> {
             rng: &mut self.rng,
         };
         program.on_tx_abort(&mut ctx);
-        backoff(&mut self.rng, self.retries, &self.cfg);
+        let (kind, _) = policy_levers(&self.cfg, attempt);
+        backoff(&mut self.rng, attempt, kind, &self.cfg);
     }
 
     /// Runs `body` + commit as a single-op transaction, retrying through
@@ -677,7 +775,8 @@ impl<'a> Worker<'a> {
             // action inside a serial transaction), the mini MUST run under
             // it: taking the commit read-gate from the token-holding thread
             // would self-deadlock on the RwLock.
-            let escalated = if self.token.is_none() && attempt > self.cfg.max_retries {
+            let (kind, max_retries) = policy_levers(&self.cfg, attempt);
+            let escalated = if self.token.is_none() && attempt > max_retries {
                 Some(self.stm.serial_token())
             } else {
                 None
@@ -698,7 +797,7 @@ impl<'a> Worker<'a> {
                     drop(escalated);
                     self.stats.mini_aborts += 1;
                     attempt += 1;
-                    backoff(&mut self.rng, attempt, &self.cfg);
+                    backoff(&mut self.rng, attempt, kind, &self.cfg);
                 }
             }
         }
@@ -737,7 +836,8 @@ impl<'a> Worker<'a> {
                         return Err(self.protocol("TxBegin inside an escape action"));
                     }
                     if self.depth == 0 {
-                        if self.retries >= self.cfg.max_retries {
+                        let (_, max_retries) = policy_levers(&self.cfg, self.retry.streak);
+                        if self.retry.should_escalate(max_retries) {
                             self.token = Some(self.stm.serial_token());
                             self.stats.serial_fallbacks += 1;
                         }
@@ -763,7 +863,7 @@ impl<'a> Worker<'a> {
                         match tx.commit() {
                             Ok(info) => {
                                 self.depth = 0;
-                                self.retries = 0;
+                                self.retry.on_commit();
                                 self.token = None; // releases the serial gate
                                 self.stats.commits += 1;
                                 if info.serial {
@@ -991,6 +1091,85 @@ mod tests {
             .mem_slots(1 << 12)
             .check_serializability(true)
             .build()
+    }
+
+    #[test]
+    fn retry_streak_resets_only_on_commit() {
+        let mut r = RetryState::default();
+        assert!(!r.should_escalate(2));
+        assert_eq!(r.on_abort(), 1);
+        assert_eq!(r.on_abort(), 2);
+        assert!(r.should_escalate(2), "threshold reached");
+        // Serial-fallback *entry* must not clear the streak: the escalation
+        // decision is re-evaluated at every begin, and a streak silently
+        // reset here would bounce a starving transaction back into the
+        // optimistic path before it ever commits.
+        assert!(r.should_escalate(2), "still escalated until a commit");
+        r.on_commit();
+        assert!(!r.should_escalate(2), "commit ends the streak");
+        assert_eq!(r.max_streak, 2, "high-water survives the reset");
+        assert_eq!(r.on_abort(), 1, "a new streak counts from one");
+        assert_eq!(r.max_streak, 2);
+    }
+
+    #[test]
+    fn policy_levers_map_each_policy() {
+        let cfg = StmConfig::default();
+        assert_eq!(policy_levers(&cfg, 0), (BackoffKind::RandExp, cfg.max_retries));
+        let with = |p| StmConfig {
+            contention: p,
+            ..cfg
+        };
+        let m = cfg.max_retries;
+        assert_eq!(
+            policy_levers(&with(ContentionPolicy::RequesterAborts), 9),
+            (BackoffKind::Constant, m)
+        );
+        assert_eq!(
+            policy_levers(&with(ContentionPolicy::SizeMatters), 9),
+            (BackoffKind::Linear, m)
+        );
+        assert_eq!(
+            policy_levers(&with(ContentionPolicy::Karma), 9),
+            (BackoffKind::RandExp, m.div_ceil(2)),
+            "karma halves the retry budget"
+        );
+        let ad = with(ContentionPolicy::Adaptive);
+        assert_eq!(policy_levers(&ad, 0).0, BackoffKind::Constant);
+        assert_eq!(policy_levers(&ad, 5).0, BackoffKind::Linear);
+        assert_eq!(policy_levers(&ad, 20).0, BackoffKind::RandExp);
+        // Karma preserves the `0 = always serial` contract.
+        let zero = StmConfig {
+            contention: ContentionPolicy::Karma,
+            max_retries: 0,
+            ..cfg
+        };
+        assert_eq!(policy_levers(&zero, 0).1, 0);
+    }
+
+    #[test]
+    fn pinned_adaptive_levers_match_the_static_policy() {
+        for p in ContentionPolicy::ALL {
+            if p == ContentionPolicy::Adaptive {
+                continue;
+            }
+            let pinned = StmConfig {
+                contention: ContentionPolicy::Adaptive,
+                adaptive_pin: Some(p),
+                ..StmConfig::default()
+            };
+            let fixed = StmConfig {
+                contention: p,
+                ..StmConfig::default()
+            };
+            for streak in [0, 3, 8, 40] {
+                assert_eq!(
+                    policy_levers(&pinned, streak),
+                    policy_levers(&fixed, streak),
+                    "{p:?} at streak {streak}"
+                );
+            }
+        }
     }
 
     #[test]

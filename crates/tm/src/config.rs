@@ -3,6 +3,7 @@
 use ltse_sig::SignatureKind;
 use ltse_sim::Cycle;
 
+use crate::adapt::BackoffKind;
 use crate::conflict::ContentionPolicy;
 
 /// Configuration for the LogTM-SE hardware additions and software handlers.
@@ -50,6 +51,18 @@ pub struct TmConfig {
     pub begin_cycles: Cycle,
     /// Contention-management policy on NACKs.
     pub contention: ContentionPolicy,
+    /// Which backoff family shapes post-abort (and partial-abort) waits.
+    pub backoff_kind: BackoffKind,
+    /// Bounded-retry escalation: after this many consecutive aborts of one
+    /// transaction, its retry acquires the global serialization token and
+    /// runs exempt from conflict-resolution aborts (mirroring the STM
+    /// backend's serial fallback). `None` disables escalation.
+    pub escalate_after: Option<u32>,
+    /// Test/diagnosis pin for [`ContentionPolicy::Adaptive`]: when set, the
+    /// adaptive manager always selects this static policy, making the run
+    /// byte-identical to the static configuration. Ignored by static
+    /// policies.
+    pub adaptive_pin: Option<ContentionPolicy>,
     /// **Test-only fault injection**: when set, the abort handler silently
     /// skips restoring the most recently logged undo record of the
     /// outermost frame, leaving one block un-rolled-back. Exists solely so
@@ -76,6 +89,9 @@ impl TmConfig {
             backoff_cap_shift: 6,
             begin_cycles: Cycle(4),
             contention: ContentionPolicy::RequesterStalls,
+            backoff_kind: BackoffKind::RandExp,
+            escalate_after: None,
+            adaptive_pin: None,
             fault_skip_one_undo: false,
         }
     }

@@ -70,39 +70,92 @@ pub enum ContentionPolicy {
     /// any NACK (early-HTM behaviour; maximal wasted work, zero deadlock
     /// machinery).
     RequesterAborts,
-    /// A karma-style manager: on a possible deadlock cycle the requester
+    /// A work-weighted manager: on a possible deadlock cycle the requester
     /// aborts only if it has invested *less* work (fewer undo records) than
     /// the conflicting transaction; otherwise it keeps stalling and lets
     /// the deadlock rule fire on the other side.
     SizeMatters,
+    /// Age-based (Greedy/Timestamp-style): the strictly younger side of a
+    /// conflict aborts immediately, the older side stalls. Deadlock-free
+    /// without `possible_cycle` tracking; preserved begin stamps across
+    /// retries make the oldest transaction win eventually.
+    Karma,
+    /// Online adaptive selection: every NACK is resolved by the static
+    /// policy [`crate::adapt::select_policy`] picks from the requester's
+    /// [`crate::adapt::ConflictHistory`] (abort streaks → `Karma`,
+    /// convoys with nothing invested → `RequesterAborts`, otherwise the
+    /// baseline `RequesterStalls`).
+    Adaptive,
+}
+
+impl ContentionPolicy {
+    /// Every variant, for exhaustive sweeps and reflection tests.
+    pub const ALL: [ContentionPolicy; 5] = [
+        ContentionPolicy::RequesterStalls,
+        ContentionPolicy::RequesterAborts,
+        ContentionPolicy::SizeMatters,
+        ContentionPolicy::Karma,
+        ContentionPolicy::Adaptive,
+    ];
+
+    /// The static (non-adaptive) variants — the candidates an
+    /// [`Adaptive`](ContentionPolicy::Adaptive) manager may be pinned to.
+    pub const STATIC: [ContentionPolicy; 4] = [
+        ContentionPolicy::RequesterStalls,
+        ContentionPolicy::RequesterAborts,
+        ContentionPolicy::SizeMatters,
+        ContentionPolicy::Karma,
+    ];
+
+    /// The CLI/JSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ContentionPolicy::RequesterStalls => "requester_stalls",
+            ContentionPolicy::RequesterAborts => "requester_aborts",
+            ContentionPolicy::SizeMatters => "size_matters",
+            ContentionPolicy::Karma => "karma",
+            ContentionPolicy::Adaptive => "adaptive",
+        }
+    }
+
+    /// The stable wire/fingerprint discriminant. One definition backs both
+    /// `FpHash` and `CacheValue`, so the two encodings cannot drift apart.
+    fn discriminant(&self) -> u8 {
+        match self {
+            ContentionPolicy::RequesterStalls => 0,
+            ContentionPolicy::RequesterAborts => 1,
+            ContentionPolicy::SizeMatters => 2,
+            ContentionPolicy::Karma => 3,
+            ContentionPolicy::Adaptive => 4,
+        }
+    }
+}
+
+impl std::str::FromStr for ContentionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ContentionPolicy::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| format!("unknown contention policy '{s}'"))
+    }
 }
 
 impl ltse_sim::cache::FpHash for ContentionPolicy {
     fn fp_feed(&self, h: &mut ltse_sim::cache::FpHasher) {
-        h.write_u64(match self {
-            ContentionPolicy::RequesterStalls => 0,
-            ContentionPolicy::RequesterAborts => 1,
-            ContentionPolicy::SizeMatters => 2,
-        });
+        h.write_u64(self.discriminant() as u64);
     }
 }
 
 impl ltse_sim::cache::CacheValue for ContentionPolicy {
     fn encode(&self, out: &mut Vec<u8>) {
-        out.push(match self {
-            ContentionPolicy::RequesterStalls => 0,
-            ContentionPolicy::RequesterAborts => 1,
-            ContentionPolicy::SizeMatters => 2,
-        });
+        out.push(self.discriminant());
     }
 
     fn decode(r: &mut ltse_sim::cache::ByteReader<'_>) -> Option<Self> {
-        match r.u8()? {
-            0 => Some(ContentionPolicy::RequesterStalls),
-            1 => Some(ContentionPolicy::RequesterAborts),
-            2 => Some(ContentionPolicy::SizeMatters),
-            _ => None,
-        }
+        let d = r.u8()?;
+        ContentionPolicy::ALL.into_iter().find(|p| p.discriminant() == d)
     }
 }
 
@@ -135,6 +188,13 @@ pub fn resolve_nack(
 /// [`resolve_nack`] under an explicit [`ContentionPolicy`].
 /// `requester_work`/`nacker_work` are invested-work estimates (undo
 /// records) consulted by [`ContentionPolicy::SizeMatters`].
+///
+/// This is the history-free entry point: it dispatches through the
+/// [`crate::adapt::ContentionManager`] for `policy` with an empty
+/// [`crate::adapt::ConflictHistory`], so [`ContentionPolicy::Adaptive`]
+/// here behaves as its default selection. Callers holding real per-thread
+/// history (the [`crate::TmUnit`] NACK path) resolve through
+/// [`crate::adapt::select_policy`] + the managers directly.
 pub fn resolve_nack_with(
     policy: ContentionPolicy,
     requester: Option<TxStamp>,
@@ -143,41 +203,15 @@ pub fn resolve_nack_with(
     requester_work: usize,
     nacker_work: usize,
 ) -> (Resolution, bool) {
-    match (requester, nacker) {
-        (Some(req), Some(nk)) => {
-            // Nacker observes it NACKed an older transaction → future cycle
-            // possible through it.
-            let nacker_flags = req.older_than(nk);
-            let deadlock_possible = nk.older_than(req) && requester_possible_cycle;
-            let resolution = match policy {
-                ContentionPolicy::RequesterStalls => {
-                    if deadlock_possible {
-                        Resolution::Abort
-                    } else {
-                        Resolution::Stall
-                    }
-                }
-                ContentionPolicy::RequesterAborts => Resolution::Abort,
-                ContentionPolicy::SizeMatters => {
-                    if deadlock_possible && requester_work <= nacker_work {
-                        Resolution::Abort
-                    } else {
-                        Resolution::Stall
-                    }
-                }
-            };
-            (resolution, nacker_flags)
-        }
-        // Non-transactional requesters can always just retry (they hold no
-        // isolation anyone could be waiting on). The nacker still notes it
-        // stalled someone "older than any transaction"? No — non-tx requests
-        // carry no timestamp, so the nacker's flag is untouched.
-        (None, _) => (Resolution::Stall, false),
-        // Transactional requester NACKed by something with no stamp (e.g. a
-        // summary-signature conflict routed here): stall; deadlock through a
-        // descheduled thread is broken by the OS rescheduling it.
-        (Some(_), None) => (Resolution::Stall, false),
-    }
+    let cx = crate::adapt::NackContext {
+        requester,
+        requester_possible_cycle,
+        nacker,
+        requester_work,
+        nacker_work,
+        history: crate::adapt::ConflictHistory::default(),
+    };
+    crate::adapt::manager_for(policy, None).resolve(&cx)
 }
 
 /// Randomized-exponential backoff after the `attempt`-th consecutive abort:
@@ -327,5 +361,86 @@ mod tests {
     fn backoff_zero_base() {
         let mut rng = ltse_sim::rng::Xoshiro256StarStar::new(1);
         assert_eq!(abort_backoff(&mut rng, Cycle(0), 4, 3), Cycle::ZERO);
+    }
+
+    #[test]
+    fn karma_policy_aborts_the_younger_side() {
+        let (r, _) = resolve_nack_with(
+            ContentionPolicy::Karma,
+            Some(st(100, 1)),
+            false,
+            Some(st(10, 0)),
+            0,
+            0,
+        );
+        assert_eq!(r, Resolution::Abort, "younger requester loses");
+        let (r, flag) = resolve_nack_with(
+            ContentionPolicy::Karma,
+            Some(st(10, 0)),
+            false,
+            Some(st(100, 1)),
+            0,
+            0,
+        );
+        assert_eq!(r, Resolution::Stall, "older requester waits");
+        assert!(flag, "nacker of an older tx still flags possible_cycle");
+    }
+
+    /// Counts `ContentionPolicy` variants through an exhaustive match —
+    /// adding a variant without extending `ALL` (and therefore the
+    /// fingerprint/codec round-trip below) is a compile error here, the
+    /// same reflection trick `TmStats::merge`'s test uses.
+    #[test]
+    fn policy_all_is_exhaustive() {
+        fn ordinal(p: ContentionPolicy) -> usize {
+            match p {
+                ContentionPolicy::RequesterStalls => 0,
+                ContentionPolicy::RequesterAborts => 1,
+                ContentionPolicy::SizeMatters => 2,
+                ContentionPolicy::Karma => 3,
+                ContentionPolicy::Adaptive => 4,
+            }
+        }
+        assert_eq!(ContentionPolicy::ALL.len(), 5);
+        for (i, p) in ContentionPolicy::ALL.into_iter().enumerate() {
+            assert_eq!(ordinal(p), i, "ALL must list every variant once, in order");
+        }
+    }
+
+    #[test]
+    fn policy_fingerprints_never_alias() {
+        use ltse_sim::cache::{FpHash, FpHasher};
+        let mut fps = Vec::new();
+        for p in ContentionPolicy::ALL {
+            let mut h = FpHasher::new("policy-alias-test");
+            p.fp_feed(&mut h);
+            fps.push(h.finish());
+        }
+        for i in 0..fps.len() {
+            for j in 0..i {
+                assert_ne!(
+                    fps[i], fps[j],
+                    "{:?} and {:?} alias the same cache fingerprint",
+                    ContentionPolicy::ALL[i],
+                    ContentionPolicy::ALL[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn policy_codec_round_trips_every_variant() {
+        use ltse_sim::cache::{ByteReader, CacheValue};
+        for p in ContentionPolicy::ALL {
+            let mut buf = Vec::new();
+            p.encode(&mut buf);
+            let mut r = ByteReader::new(&buf);
+            assert_eq!(ContentionPolicy::decode(&mut r), Some(p));
+            assert_eq!(p.name().parse::<ContentionPolicy>(), Ok(p));
+        }
+        // Unknown discriminants must decode to None, not a wrong variant.
+        let mut r = ByteReader::new(&[200u8]);
+        assert_eq!(ContentionPolicy::decode(&mut r), None);
+        assert!("bogus".parse::<ContentionPolicy>().is_err());
     }
 }

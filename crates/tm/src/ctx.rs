@@ -6,8 +6,9 @@ use ltse_sig::{ConflictVerdict, ShadowedRwSignature, SigOp, SignatureKind};
 use ltse_sim::rng::Xoshiro256StarStar;
 use ltse_sim::Cycle;
 
+use crate::adapt::{backoff_cycles, ConflictHistory};
 use crate::config::TmConfig;
-use crate::conflict::{abort_backoff, TxStamp};
+use crate::conflict::TxStamp;
 use crate::filter::LogFilter;
 use crate::log::{unroll_frame, TxLog};
 use crate::stats::{TmStats, TxSetSizes};
@@ -71,6 +72,10 @@ pub struct ThreadTmState {
     rng: Xoshiro256StarStar,
     /// Per-thread statistics.
     pub stats: TmStats,
+    /// Always-on conflict history feeding the adaptive contention manager.
+    /// Maintained identically under every policy so enabling `Adaptive`
+    /// (or pinning it) changes no other thread-visible state.
+    pub history: ConflictHistory,
 }
 
 /// Result of an outermost abort: handler costs and backoff for the caller
@@ -113,7 +118,15 @@ impl ThreadTmState {
             pending_remaps: Vec::new(),
             rng: Xoshiro256StarStar::new(seed),
             stats: TmStats::new(),
+            history: ConflictHistory::default(),
         }
+    }
+
+    /// Consecutive aborts of the current transaction attempt (reset at
+    /// commit). The escalation rule compares this against
+    /// [`TmConfig::escalate_after`].
+    pub fn abort_attempts(&self) -> u32 {
+        self.abort_attempts
     }
 
     /// Whether the thread is inside a transaction.
@@ -302,6 +315,7 @@ impl ThreadTmState {
                 .log_high_water_words
                 .max(self.log.high_water_words());
             self.stats.commits += 1;
+            self.history.on_commit();
             self.log.commit_outer();
             self.sig.clear();
             self.filter.clear();
@@ -374,10 +388,13 @@ impl ThreadTmState {
         self.filter.clear();
         self.possible_cycle = false;
         self.stats.aborts += 1;
-        self.stats.wasted_cycles += now.saturating_sub(stamp.begin).as_u64();
+        let wasted = now.saturating_sub(stamp.begin).as_u64();
+        self.stats.wasted_cycles += wasted;
+        self.history.on_abort(wasted);
         self.abort_attempts += 1;
         let needs_summary_update = std::mem::take(&mut self.in_summary);
-        let backoff = abort_backoff(
+        let backoff = backoff_cycles(
+            config.backoff_kind,
             &mut self.rng,
             config.backoff_base_cycles,
             config.backoff_cap_shift,

@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod conflict;
 pub mod virt_compare;
 
@@ -70,6 +71,7 @@ mod os;
 mod stats;
 mod unit;
 
+pub use adapt::{backoff_cycles, BackoffKind, ConflictHistory, ContentionManager};
 pub use config::TmConfig;
 pub use ctx::{NestKind, ThreadTmState, TxPhase};
 pub use filter::LogFilter;

@@ -68,6 +68,10 @@ pub struct TmStats {
     pub work_units: u64,
     /// Escape actions entered (non-transactional windows, §6.2).
     pub escapes: u64,
+    /// Times this thread's transaction escalated to the global
+    /// serialization token after a bounded retry streak
+    /// (`TmConfig::escalate_after`).
+    pub serial_escalations: u64,
 }
 
 impl TmStats {
@@ -119,6 +123,7 @@ impl TmStats {
             log_high_water_words,
             work_units,
             escapes,
+            serial_escalations,
         } = other;
         self.commits = self.commits.saturating_add(*commits);
         self.aborts = self.aborts.saturating_add(*aborts);
@@ -145,6 +150,7 @@ impl TmStats {
         self.log_high_water_words = self.log_high_water_words.max(*log_high_water_words);
         self.work_units = self.work_units.saturating_add(*work_units);
         self.escapes = self.escapes.saturating_add(*escapes);
+        self.serial_escalations = self.serial_escalations.saturating_add(*serial_escalations);
     }
 
     /// Records a committed transaction's exact set sizes.
@@ -193,6 +199,7 @@ mod tests {
             log_high_water_words: k + 13,
             work_units: k + 14,
             escapes: k + 15,
+            serial_escalations: k + 18,
         };
         let mut s = s;
         s.record_commit_sets(TxSetSizes {
@@ -230,6 +237,7 @@ mod tests {
             log_high_water_words,
             work_units,
             escapes,
+            serial_escalations,
         } = a;
         assert_eq!(commits, 101 + 1001);
         assert_eq!(aborts, 102 + 1002);
@@ -256,6 +264,7 @@ mod tests {
         assert_eq!(log_high_water_words, 1013, "high water merges via max");
         assert_eq!(work_units, 114 + 1014);
         assert_eq!(escapes, 115 + 1015);
+        assert_eq!(serial_escalations, 118 + 1018);
     }
 
     #[test]

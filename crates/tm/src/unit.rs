@@ -5,8 +5,9 @@ use ltse_mem::{AccessKind, Asid, BlockAddr, ConflictOracle, CtxId, WordAddr, WOR
 use ltse_sig::SigOp;
 use ltse_sim::Cycle;
 
+use crate::adapt::{manager_for, select_policy, NackContext};
 use crate::config::TmConfig;
-use crate::conflict::{resolve_nack_with, ContentionPolicy, Resolution};
+use crate::conflict::{ContentionPolicy, Resolution};
 use crate::ctx::{AbortCosts, NestKind, ThreadTmState};
 use crate::stats::TmStats;
 
@@ -70,6 +71,13 @@ pub struct TmUnit {
     /// Stats of threads that were destroyed/descheduled-forever, so nothing
     /// is lost from aggregates.
     retired_stats: TmStats,
+    /// Software thread id holding the global serialization token (bounded-
+    /// retry escalation, [`TmConfig::escalate_after`]). Keyed by thread id,
+    /// not context, so the token survives migration between contexts. The
+    /// holder is exempt from conflict-resolution aborts; any transactional
+    /// requester it NACKs aborts instead, which breaks every wait cycle
+    /// through the holder.
+    serial_holder: Option<u32>,
 }
 
 impl TmUnit {
@@ -121,6 +129,49 @@ impl TmUnit {
             smt_per_core,
             slots: (0..n_ctxs).map(|_| None).collect(),
             retired_stats: TmStats::new(),
+            serial_holder: None,
+        }
+    }
+
+    // ---- bounded-retry escalation ---------------------------------------
+
+    /// The software thread currently holding the serialization token.
+    pub fn serial_holder(&self) -> Option<u32> {
+        self.serial_holder
+    }
+
+    /// Tries to acquire the serialization token for the thread on `ctx`
+    /// (idempotent for the current holder). Returns whether the thread now
+    /// holds it.
+    pub fn try_acquire_serial(&mut self, ctx: CtxId) -> bool {
+        let Some(tid) = self.thread(ctx).map(|t| t.thread_id) else {
+            return false;
+        };
+        match self.serial_holder {
+            None => {
+                self.serial_holder = Some(tid);
+                if let Some(t) = self.thread_mut(ctx) {
+                    t.stats.serial_escalations += 1;
+                }
+                true
+            }
+            Some(h) => h == tid,
+        }
+    }
+
+    /// Whether the thread on `ctx` holds the serialization token.
+    pub fn holds_serial(&self, ctx: CtxId) -> bool {
+        match (self.serial_holder, self.thread(ctx)) {
+            (Some(h), Some(t)) => h == t.thread_id,
+            _ => false,
+        }
+    }
+
+    /// Releases the token if the thread on `ctx` holds it (outermost
+    /// commit, or the rare liveness-abort of an escalated transaction).
+    fn release_serial_if_held(&mut self, ctx: CtxId) {
+        if self.holds_serial(ctx) {
+            self.serial_holder = None;
         }
     }
 
@@ -240,6 +291,9 @@ impl TmUnit {
         if outermost {
             t.in_summary = false;
         }
+        if outermost {
+            self.release_serial_if_held(ctx);
+        }
         CommitOutcome {
             outermost,
             cycles,
@@ -256,6 +310,7 @@ impl TmUnit {
         restore: &mut dyn FnMut(WordAddr, &[u64; 8]),
     ) -> AbortCosts {
         let config = self.config;
+        self.release_serial_if_held(ctx);
         self.slot_mut(ctx).abort_all(&config, now, restore)
     }
 
@@ -306,8 +361,11 @@ impl TmUnit {
         PreAccessCheck::Clear
     }
 
-    /// Applies LogTM conflict resolution after a NACK: updates the nacker's
-    /// `possible_cycle` flag, bumps the requester's stall count, and returns
+    /// Applies LogTM conflict resolution after a NACK: selects the
+    /// effective contention policy (per-conflict for `Adaptive`), runs its
+    /// [`crate::adapt::ContentionManager`], applies the serialization-token
+    /// overrides, updates the nacker's `possible_cycle` flag and both sides'
+    /// conflict histories, bumps the requester's stall count, and returns
     /// what the requester must do.
     pub fn on_nack(&mut self, requester: CtxId, nacker: Option<CtxId>) -> Resolution {
         let req_stamp = self.thread(requester).and_then(|t| t.stamp());
@@ -324,21 +382,31 @@ impl TmUnit {
             .and_then(|n| self.thread(n))
             .map(|t| t.log().total_undo_records())
             .unwrap_or(0);
-        let (mut resolution, nacker_flags) = resolve_nack_with(
+        let history = self
+            .thread(requester)
+            .map(|t| t.history)
+            .unwrap_or_default();
+        // The history consulted is the one *before* this NACK, so a pinned
+        // adaptive run observes exactly the state a static run would.
+        let effective = select_policy(
             self.config.contention,
-            req_stamp,
-            req_flag,
-            nk_stamp,
+            self.config.adaptive_pin,
+            &history,
             req_work,
-            nk_work,
         );
+        let (mut resolution, nacker_flags) = manager_for(effective, None).resolve(&NackContext {
+            requester: req_stamp,
+            requester_possible_cycle: req_flag,
+            nacker: nk_stamp,
+            requester_work: req_work,
+            nacker_work: nk_work,
+            history,
+        });
         // A size-aware manager's sparing rule can deadlock when the bigger
         // transaction is also the younger one (the only abort that could
         // break the cycle is the one being spared). Escalate after a
         // bounded number of spared deadlock-possible stalls.
-        if self.config.contention == ContentionPolicy::SizeMatters
-            && resolution == Resolution::Stall
-        {
+        if effective == ContentionPolicy::SizeMatters && resolution == Resolution::Stall {
             if let (Some(req), Some(nk)) = (req_stamp, nk_stamp) {
                 if nk.older_than(req) && req_flag {
                     if let Some(t) = self.thread_mut(requester) {
@@ -351,6 +419,17 @@ impl TmUnit {
                 }
             }
         }
+        // Serialization-token overrides (these outrank every policy): the
+        // holder never aborts on a conflict, and any transactional requester
+        // the holder NACKs aborts immediately. Every wait cycle through the
+        // single holder has an edge *into* the holder, so that edge's
+        // requester aborting keeps escalation deadlock-free even under
+        // stall-happy policies.
+        if self.holds_serial(requester) {
+            resolution = Resolution::Stall;
+        } else if nacker.is_some_and(|n| self.holds_serial(n)) && req_stamp.is_some() {
+            resolution = Resolution::Abort;
+        }
         if nacker_flags {
             if let Some(n) = nacker {
                 if let Some(t) = self.thread_mut(n) {
@@ -358,8 +437,16 @@ impl TmUnit {
                 }
             }
         }
+        if let Some(n) = nacker {
+            if let Some(t) = self.thread_mut(n) {
+                t.history.on_nack_caused();
+            }
+        }
         if let Some(t) = self.thread_mut(requester) {
             t.stats.stalls += 1;
+            // Recorded for every NACK; an abort resolution resets the stall
+            // streak again in `abort_all`.
+            t.history.on_stall();
         }
         resolution
     }

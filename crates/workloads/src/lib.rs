@@ -68,7 +68,7 @@ pub use backend::{build_backend, run_on_backend, BackendKind};
 pub use driver::{BodyOp, CsProgram, Section, SectionSource, SyncMode};
 pub use locks::{BarrierDriver, LockDriver, LockOutcome, TicketLockDriver};
 pub use micro::{HotColdArray, RepeatedWriter, SharedCounter};
-pub use oltp::{run_oltp, OltpConfig, OltpOutcome, Zipfian, MAX_TX_OPS};
+pub use oltp::{run_oltp, run_oltp_with, OltpConfig, OltpOutcome, PolicyTune, Zipfian, MAX_TX_OPS};
 pub use spec::{run_benchmark, Benchmark, RunParams};
 
 pub use berkeleydb::BerkeleyDb;

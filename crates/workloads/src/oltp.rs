@@ -34,8 +34,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use logtm_se::{
-    BackendReport, MemConfig, Op, ProgCtx, SystemBuilder, ThreadProgram, TmBackend, WordAddr,
-    MAX_CORES,
+    BackendReport, BackoffKind, ContentionPolicy, MemConfig, Op, ProgCtx, SystemBuilder,
+    ThreadProgram, TmBackend, WordAddr, MAX_CORES,
 };
 use ltse_sim::config::seed_sequence;
 use ltse_sim::rng::{mix64, Xoshiro256StarStar};
@@ -492,12 +492,40 @@ fn sim_cores_for(threads: u32) -> u16 {
     threads.max(4).min(MAX_CORES as u32) as u16
 }
 
+/// Contention-management overrides threaded into both backends by
+/// [`run_oltp_with`]. `None` fields keep each backend's defaults, so
+/// `PolicyTune::default()` reproduces [`run_oltp`] exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyTune {
+    /// Contention policy (shared vocabulary across both backends).
+    pub contention: Option<ContentionPolicy>,
+    /// Backoff family shaping post-abort waits.
+    pub backoff_kind: Option<BackoffKind>,
+    /// Consecutive-abort threshold for serial escalation: the simulator's
+    /// `TmConfig::escalate_after` and the STM's `max_retries` — one knob,
+    /// both serial fallbacks.
+    pub escalate_after: Option<u32>,
+    /// Pin for [`ContentionPolicy::Adaptive`] (determinism tests).
+    pub adaptive_pin: Option<ContentionPolicy>,
+}
+
 /// Runs one open-loop OLTP configuration on the chosen backend.
 ///
 /// `check` enables the serializability oracle (its replay log grows with
 /// commit count, so leave it off for throughput measurement). Returns an
 /// error if the config is invalid, the run fails, or the oracle objects.
 pub fn run_oltp(kind: BackendKind, cfg: &OltpConfig, check: bool) -> Result<OltpOutcome, String> {
+    run_oltp_with(kind, cfg, check, &PolicyTune::default())
+}
+
+/// [`run_oltp`] with contention-management overrides applied to whichever
+/// backend runs (the policy-sweep experiment's entry point).
+pub fn run_oltp_with(
+    kind: BackendKind,
+    cfg: &OltpConfig,
+    check: bool,
+    tune: &PolicyTune,
+) -> Result<OltpOutcome, String> {
     cfg.validate()?;
     let zipf = Zipfian::new(cfg.keys, cfg.theta);
     let collector = Arc::new(Mutex::new(Collector::default()));
@@ -506,24 +534,40 @@ pub fn run_oltp(kind: BackendKind, cfg: &OltpConfig, check: bool) -> Result<Oltp
         BackendKind::Stm => PaceClock::Wall,
     };
     let mut backend: Box<dyn TmBackend> = match kind {
-        BackendKind::Sim => Box::new(
-            SystemBuilder::paper_default()
+        BackendKind::Sim => {
+            let mut b = SystemBuilder::paper_default()
                 .mem_config(MemConfig::scaled_cmp(sim_cores_for(cfg.threads), 1))
                 .seed(cfg.seed)
                 .check_serializability(check)
-                .build(),
-        ),
+                .escalate_after(tune.escalate_after)
+                .adaptive_pin(tune.adaptive_pin);
+            if let Some(p) = tune.contention {
+                b = b.contention(p);
+            }
+            if let Some(k) = tune.backoff_kind {
+                b = b.backoff_kind(k);
+            }
+            Box::new(b.build())
+        }
         BackendKind::Stm => {
             // One word per key is touched; size the word table well past the
             // key count so it never fills.
             let slots = cfg.keys.saturating_mul(2).next_power_of_two().max(1 << 18) as usize;
-            Box::new(
-                StmBuilder::new()
-                    .seed(cfg.seed)
-                    .mem_slots(slots)
-                    .check_serializability(check)
-                    .build(),
-            )
+            let mut b = StmBuilder::new()
+                .seed(cfg.seed)
+                .mem_slots(slots)
+                .check_serializability(check)
+                .adaptive_pin(tune.adaptive_pin);
+            if let Some(p) = tune.contention {
+                b = b.contention(p);
+            }
+            if let Some(k) = tune.backoff_kind {
+                b = b.backoff_kind(k);
+            }
+            if let Some(n) = tune.escalate_after {
+                b = b.max_retries(n);
+            }
+            Box::new(b.build())
         }
     };
     for &thread_seed in &seed_sequence(cfg.seed ^ SEED_TAG, cfg.threads as usize) {

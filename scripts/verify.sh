@@ -19,6 +19,15 @@ LTSE_EXPLORE_SCHEDULES=300 cargo test -q --release --test integration_explore
 t_exp1=$(date +%s%N)
 echo "ok: exploration smoke in $(( (t_exp1 - t_exp0) / 1000000 )) ms"
 
+echo "== policy smoke: every contention policy under the oracle =="
+# Serializability + seeded-fault detection under all five contention
+# policies (including Adaptive), pinned-Adaptive byte-identity, and the
+# serial-escalation path. A reduced schedule budget keeps this quick.
+t_pol0=$(date +%s%N)
+LTSE_EXPLORE_SCHEDULES=150 cargo test -q --release --test integration_policy
+t_pol1=$(date +%s%N)
+echo "ok: policy smoke in $(( (t_pol1 - t_pol0) / 1000000 )) ms"
+
 echo "== scale smoke: 64-256-context runs with serializability checks =="
 # The scaled_cmp configurations (64/128/256 cores, square mesh, one bank per
 # core) run Mp3d end to end under the differential serializability oracle.
@@ -35,7 +44,7 @@ LTSE_STM_CASES=60 cargo test -q --release --test integration_stm
 t_stm1=$(date +%s%N)
 echo "ok: stm differential smoke in $(( (t_stm1 - t_stm0) / 1000000 )) ms"
 
-echo "== bench smoke: hotpath + pipeline + obs + stm + scale + oltp suites in quick mode =="
+echo "== bench smoke: hotpath + pipeline + obs + stm + scale + oltp + policy suites in quick mode =="
 # Asserts both suites run and emit valid JSON with the expected shape; no
 # timing thresholds — CI machines are too noisy for that.
 bench_dir=$(mktemp -d)
@@ -105,6 +114,31 @@ growth = mtx["sim"]["rss_growth_kb"]
 assert growth is None or growth < 64 * 1024, f"mtx RSS growth {growth} KiB"
 print(f"ok: BENCH_oltp {len(points)} point rows + mtx section "
       f"({mtx['txs_total']} txs, rss growth {growth} KiB, kv states match)")
+
+# BENCH_policy.json: every contention policy on every contended point on
+# both backends, with the per-point winner analysis. Structure only here —
+# the ratio gates are full-scale and live in scripts/bench.sh.
+with open(os.path.join(d, "BENCH_policy.json")) as f:
+    doc = json.load(f)
+assert doc["bench"] == "policy" and doc["quick"] is True, doc
+rows = doc["rows"]
+all_policies = {"requester_stalls", "requester_aborts", "size_matters", "karma", "adaptive"}
+# 5 policies x (1 mp3d sim point + 2 oltp points x 2 backends).
+assert len(rows) == 5 * 5, f"expected 25 rows, got {len(rows)}"
+assert {r["policy"] for r in rows} == all_policies
+assert {r["backend"] for r in rows} == {"sim", "stm"}
+for r in rows:
+    assert r["score"] >= 0 and r["committed"] > 0 and r["completed"] is True, r
+pts = doc["points"]
+assert len(pts) == 5, f"expected 5 (point, backend) summaries, got {len(pts)}"
+for p in pts:
+    assert p["best_static_policy"] in all_policies - {"adaptive"}, p
+    assert p["adaptive_vs_best"] >= 0.0, p
+summ = doc["summary"]
+assert summ["static_winners"] and summ["distinct_static_winners"] >= 1, summ
+assert isinstance(summ["adaptive_ok"], bool), summ
+print(f"ok: BENCH_policy {len(rows)} rows, {len(pts)} point summaries, "
+      f"winners: {', '.join(summ['static_winners'])}")
 EOF
 
 echo "== determinism smoke: repro --quick, 1 vs. 4 workers =="
@@ -186,6 +220,29 @@ if [ "$oltp_stm_rows" -ne 3 ]; then
     exit 1
 fi
 echo "ok: oltp deterministic on sim, 3 skew/mix points cross-checked on stm"
+
+echo "== policy sweep smoke: repro --quick policy =="
+# Every contention policy on every contended point, both backends in one
+# table (25 rows). The stm rows are wall-clock, so no byte-identity check —
+# shape and completeness only.
+"$repro" --quick policy >"$oltp1" 2>/dev/null
+if ! grep -q "^Policy sweep:" "$oltp1"; then
+    echo "FAIL: repro policy did not print the sweep table" >&2
+    head -5 "$oltp1" >&2
+    exit 1
+fi
+policy_rows=$(grep -c "adaptive\|karma\|requester_\|size_matters" "$oltp1" || true)
+if [ "$policy_rows" -ne 25 ]; then
+    echo "FAIL: expected 25 policy rows (5 policies x 5 points), got $policy_rows" >&2
+    cat "$oltp1" >&2
+    exit 1
+fi
+if grep -q " NO " "$oltp1"; then
+    echo "FAIL: some policy runs did not complete their fixed work" >&2
+    grep " NO " "$oltp1" >&2
+    exit 1
+fi
+echo "ok: policy sweep ran 5 policies x 5 (point, backend) combinations"
 
 echo "== cache smoke: repro --quick twice into a fresh cache dir =="
 cache_dir=$(mktemp -d)

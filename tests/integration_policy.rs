@@ -1,0 +1,189 @@
+//! Contention-policy integration tests: every [`ContentionPolicy`]
+//! (including `Adaptive`) must preserve serializability across explored
+//! schedules, must still let the differential oracle catch a seeded undo
+//! bug (no policy may mask a correctness fault by accident of scheduling),
+//! and `Adaptive` pinned to a single static policy must be byte-identical
+//! to that static policy — the always-on conflict-history bookkeeping is
+//! observation, never perturbation.
+//!
+//! The explored-schedule count scales with `LTSE_EXPLORE_SCHEDULES`
+//! (used by `scripts/verify.sh` for a bounded smoke pass); unset, each
+//! policy gets hundreds of schedules.
+
+use logtm_se::{
+    explore, ContentionPolicy, Cycle, ExploreConfig, ScheduleChooser, ScriptOp, System,
+    SystemBuilder, TxScript, WordAddr,
+};
+
+/// Candidate window for each exploration decision.
+const WINDOW: usize = 4;
+/// Reorder horizon in cycles.
+const HORIZON: Cycle = Cycle(8);
+
+fn budget(default: usize) -> usize {
+    std::env::var("LTSE_EXPLORE_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn check_one(
+    chooser: &mut ScheduleChooser,
+    mut build: impl FnMut() -> System,
+) -> Result<(), String> {
+    let mut s = build();
+    s.run_explored(chooser, WINDOW, HORIZON)
+        .map_err(|e| format!("run error: {e}"))?;
+    let errs = s.finish_checks();
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs.join("; "))
+    }
+}
+
+/// The abort-heavy opposite-order workload: two words taken in opposite
+/// orders by alternating threads, so conflict cycles abort transactions
+/// *after* their first store was logged — every schedule exercises the
+/// undo path, and every policy gets real NACK traffic to decide on.
+fn opposite_order(policy: ContentionPolicy, escalate: Option<u32>, fault: bool) -> System {
+    let mut s = SystemBuilder::small_for_tests()
+        .seed(13)
+        .check_serializability(true)
+        .contention(policy)
+        .escalate_after(escalate)
+        .fault_skip_one_undo(fault)
+        .build();
+    let (a, b) = (WordAddr(0), WordAddr(8));
+    for t in 0..4 {
+        let ops = if t % 2 == 0 {
+            vec![ScriptOp::AddTo(a, 1), ScriptOp::AddTo(b, 1)]
+        } else {
+            vec![ScriptOp::AddTo(b, 1), ScriptOp::AddTo(a, 1)]
+        };
+        s.add_thread(Box::new(TxScript::new(vec![ops; 8])));
+    }
+    s
+}
+
+#[test]
+fn every_policy_serializes_hundreds_of_schedules() {
+    // ≥500 explored schedules per policy by default; every interleaving is
+    // replay-checked against a sequential commit order. Serial escalation
+    // is armed (low threshold) so the token path is explored too.
+    let n = budget(500);
+    for policy in ContentionPolicy::ALL {
+        let cfg = ExploreConfig {
+            seed: 0xCAFE ^ policy as u64,
+            ..ExploreConfig::with_budget(n)
+        };
+        let report = explore(&cfg, |chooser| {
+            check_one(chooser, || opposite_order(policy, Some(3), false))
+        });
+        report.assert_clean(policy.name());
+        assert!(
+            report.schedules_run >= n * 3 / 4,
+            "{}: budget under-used, ran {} of {n}",
+            policy.name(),
+            report.schedules_run
+        );
+    }
+}
+
+#[test]
+fn seeded_undo_fault_is_caught_under_every_policy() {
+    // The injected fault (the abort handler skips one undo record) must be
+    // detected whatever the contention policy — stalling more, aborting
+    // more, or escalating to a serial token must not hide a broken undo
+    // path from the oracle.
+    let n = budget(250);
+    for policy in ContentionPolicy::ALL {
+        let cfg = ExploreConfig {
+            seed: 0xFACE,
+            ..ExploreConfig::with_budget(n)
+        };
+        let report = explore(&cfg, |chooser| {
+            check_one(chooser, || opposite_order(policy, None, true))
+        });
+        assert!(
+            report.failure.is_some(),
+            "{}: the seeded undo bug escaped {} schedules",
+            policy.name(),
+            report.schedules_run
+        );
+    }
+}
+
+/// Deterministic whole-run fingerprint: the full debug rendering of the
+/// report (every counter) plus the final contents of the contended words.
+fn run_fingerprint(mut s: System) -> String {
+    s.run().expect("run completes");
+    format!(
+        "{:?} a={} b={}",
+        s.report(),
+        s.read_word(WordAddr(0)),
+        s.read_word(WordAddr(8))
+    )
+}
+
+#[test]
+fn pinned_adaptive_is_byte_identical_to_each_static_policy() {
+    // `Adaptive` draws its decisions from the same conflict history the
+    // static policies already maintain, and pinning it must reproduce the
+    // static policy *exactly* — same cycles, same stall/abort counters,
+    // same final memory. This is the guarantee that adaptivity adds no
+    // hidden nondeterminism.
+    for pin in ContentionPolicy::STATIC {
+        let fixed = run_fingerprint(opposite_order(pin, Some(4), false));
+        let mut pinned_sys = SystemBuilder::small_for_tests()
+            .seed(13)
+            .check_serializability(true)
+            .contention(ContentionPolicy::Adaptive)
+            .adaptive_pin(Some(pin))
+            .escalate_after(Some(4))
+            .build();
+        let (a, b) = (WordAddr(0), WordAddr(8));
+        for t in 0..4 {
+            let ops = if t % 2 == 0 {
+                vec![ScriptOp::AddTo(a, 1), ScriptOp::AddTo(b, 1)]
+            } else {
+                vec![ScriptOp::AddTo(b, 1), ScriptOp::AddTo(a, 1)]
+            };
+            pinned_sys.add_thread(Box::new(TxScript::new(vec![ops; 8])));
+        }
+        let pinned = run_fingerprint(pinned_sys);
+        assert_eq!(
+            fixed,
+            pinned,
+            "Adaptive pinned to {} diverged from the static policy",
+            pin.name()
+        );
+    }
+}
+
+#[test]
+fn serial_escalation_fires_and_preserves_isolation() {
+    // With a one-abort threshold the token path is hit constantly; the run
+    // must still complete all work and stay serializable under exploration.
+    let mut s = opposite_order(ContentionPolicy::RequesterAborts, Some(1), false);
+    s.run().expect("run completes");
+    let r = s.report();
+    assert!(
+        r.tm.serial_escalations > 0,
+        "precondition: escalation never fired (aborts={})",
+        r.tm.aborts
+    );
+    assert_eq!(s.read_word(WordAddr(0)), 4 * 8, "all increments committed");
+    assert_eq!(s.read_word(WordAddr(8)), 4 * 8, "all increments committed");
+
+    let cfg = ExploreConfig {
+        seed: 0x70CEB,
+        ..ExploreConfig::with_budget(budget(120).min(120))
+    };
+    explore(&cfg, |chooser| {
+        check_one(chooser, || {
+            opposite_order(ContentionPolicy::Adaptive, Some(1), false)
+        })
+    })
+    .assert_clean("serial escalation under exploration");
+}
